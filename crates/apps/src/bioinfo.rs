@@ -1,0 +1,467 @@
+//! Phylogeny tree construction (bioinformatics, §5.2 of the paper).
+//!
+//! The alignment-free method of Qi, Wang & Hao (2004) reconstructs
+//! prokaryote phylogenies from whole proteomes: each species is summarized
+//! by a *composition vector* (CV) — k-mer frequencies corrected by a
+//! (k−1)-order Markov prediction — and the distance between two species is
+//! derived from the cosine correlation of their sparse CVs.
+//!
+//! Stage mapping:
+//!
+//! * **parse** (CPU): FASTA decode → amino-acid code string (stands in for
+//!   the paper's decompress-FASTA step),
+//! * **pre-process** (GPU): build the sparse composition vector — the
+//!   expensive stage ("extracting these CVs is expensive since it requires
+//!   scanning the entire genome"),
+//! * **compare** (GPU): sparse dot product → correlation → distance
+//!   ("comparing two CVs is cheap"); irregular because vector sparsity
+//!   varies per species,
+//! * **post-process** (CPU): read the distance.
+//!
+//! [`crate::phylo`] turns the resulting distance matrix into a tree,
+//! completing the paper's application pipeline.
+
+use rocket_core::{AppError, Application, ItemId, Pair};
+use rocket_stats::Xoshiro256;
+use rocket_storage::MemStore;
+
+/// The 20 proteinogenic amino acids.
+pub const ALPHABET: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Synthetic proteome-set configuration.
+#[derive(Debug, Clone)]
+pub struct BioConfig {
+    /// Number of species (the paper's n = 2500 / 6818).
+    pub species: u64,
+    /// Number of unrelated ancestral clusters.
+    pub clusters: usize,
+    /// Proteome length in residues.
+    pub proteome_len: usize,
+    /// Per-residue substitution probability within a cluster.
+    pub mutation_rate: f64,
+    /// k-mer length for the composition vectors.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BioConfig {
+    fn default() -> Self {
+        Self {
+            species: 30,
+            clusters: 3,
+            proteome_len: 4000,
+            mutation_rate: 0.05,
+            k: 3,
+            seed: 0xB10,
+        }
+    }
+}
+
+/// A generated proteome set plus ground truth.
+pub struct BioDataset {
+    /// FASTA files.
+    pub store: MemStore,
+    /// `cluster_of[i]` = ancestral cluster of species `i`.
+    pub cluster_of: Vec<usize>,
+    /// The configuration used.
+    pub config: BioConfig,
+}
+
+impl BioDataset {
+    /// Storage key of species `i`.
+    pub fn key(i: ItemId) -> String {
+        format!("proteomes/sp{i:05}.fasta")
+    }
+
+    /// Generates proteomes: one random ancestor per cluster, members are
+    /// point-mutated copies, so within-cluster CV distance is small and
+    /// between-cluster distance is large.
+    pub fn generate(config: BioConfig) -> BioDataset {
+        let mut rng = Xoshiro256::seed_from(config.seed);
+        let ancestors: Vec<Vec<u8>> = (0..config.clusters)
+            .map(|_| {
+                (0..config.proteome_len)
+                    .map(|_| ALPHABET[rng.below(20)])
+                    .collect()
+            })
+            .collect();
+        let store = MemStore::new();
+        let mut cluster_of = Vec::with_capacity(config.species as usize);
+        for i in 0..config.species {
+            let cluster = rng.below(config.clusters);
+            cluster_of.push(cluster);
+            let mut seq = ancestors[cluster].clone();
+            for residue in &mut seq {
+                if rng.chance(config.mutation_rate) {
+                    *residue = ALPHABET[rng.below(20)];
+                }
+            }
+            let mut fasta = format!(">sp{i:05} synthetic cluster={cluster}\n");
+            for line in seq.chunks(60) {
+                fasta.push_str(std::str::from_utf8(line).expect("ascii"));
+                fasta.push('\n');
+            }
+            store.put(Self::key(i), fasta.into_bytes());
+        }
+        BioDataset { store, cluster_of, config }
+    }
+}
+
+/// Builds the Qi-et-al. composition vector of an amino-acid code sequence
+/// (codes in `0..20`): k-mer frequencies minus the (k−1)-order Markov
+/// prediction, relative to the prediction. Returns sorted `(kmer_index,
+/// value)` pairs.
+pub fn composition_vector(codes: &[u8], k: usize) -> Vec<(u32, f32)> {
+    assert!(k >= 2, "composition vectors need k >= 2");
+    assert!(20usize.pow(k as u32) <= u32::MAX as usize, "k too large");
+    let dim_k = 20usize.pow(k as u32);
+    let dim_k1 = 20usize.pow(k as u32 - 1);
+    let dim_k2 = 20usize.pow(k as u32 - 2);
+    if codes.len() < k {
+        return Vec::new();
+    }
+    let count = |len: usize, dim: usize| -> Vec<f64> {
+        let mut c = vec![0.0f64; dim];
+        let total = codes.len() + 1 - len;
+        for w in codes.windows(len) {
+            let mut idx = 0usize;
+            for &ch in w {
+                idx = idx * 20 + ch as usize;
+            }
+            c[idx] += 1.0;
+        }
+        for v in &mut c {
+            *v /= total as f64;
+        }
+        c
+    };
+    let f_k = count(k, dim_k);
+    let f_k1 = count(k - 1, dim_k1);
+    let f_k2 = if k == 2 { Vec::new() } else { count(k - 2, dim_k2) };
+
+    let mut out = Vec::new();
+    for (idx, &f) in f_k.iter().enumerate() {
+        if f == 0.0 {
+            continue;
+        }
+        // α = a1..ak; prefix = a1..a_{k-1}; suffix = a2..ak; core = a2..a_{k-1}.
+        let prefix = idx / 20;
+        let suffix = idx % dim_k1;
+        let core = prefix % dim_k2.max(1);
+        let f0 = if k == 2 {
+            // 0-order prediction: product of single-letter frequencies.
+            f_k1[prefix] * f_k1[suffix]
+        } else if f_k2[core] > 0.0 {
+            f_k1[prefix] * f_k1[suffix] / f_k2[core]
+        } else {
+            0.0
+        };
+        if f0 > 0.0 {
+            let a = (f - f0) / f0;
+            if a != 0.0 {
+                out.push((idx as u32, a as f32));
+            }
+        }
+    }
+    out
+}
+
+/// Correlation between two sorted sparse vectors:
+/// `C = Σ aᵢbᵢ / sqrt(Σ aᵢ² · Σ bᵢ²)`; the Qi distance is `(1 − C) / 2`.
+pub fn sparse_correlation(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    let mut dot = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 as f64 * b[j].1 as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let na: f64 = a.iter().map(|&(_, v)| (v as f64).powi(2)).sum();
+    let nb: f64 = b.iter().map(|&(_, v)| (v as f64).powi(2)).sum();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb).sqrt()
+}
+
+/// The bioinformatics [`Application`].
+pub struct BioApp {
+    species: u64,
+    k: usize,
+    proteome_len: usize,
+}
+
+impl BioApp {
+    /// Creates the application for a data set generated with `config`.
+    pub fn new(config: &BioConfig) -> Self {
+        Self { species: config.species, k: config.k, proteome_len: config.proteome_len }
+    }
+
+    fn max_entries(&self) -> usize {
+        // At most one entry per k-mer position, bounded by the dense size.
+        (self.proteome_len).min(20usize.pow(self.k as u32))
+    }
+
+    fn decode_sparse(buf: &[u8]) -> Vec<(u32, f32)> {
+        let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        let mut out = Vec::with_capacity(n);
+        for e in 0..n {
+            let o = 4 + e * 8;
+            let key = u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+            let val =
+                f32::from_le_bytes([buf[o + 4], buf[o + 5], buf[o + 6], buf[o + 7]]);
+            out.push((key, val));
+        }
+        out
+    }
+
+    fn encode_sparse(entries: &[(u32, f32)], out: &mut [u8]) -> Result<(), AppError> {
+        let need = 4 + entries.len() * 8;
+        if out.len() < need {
+            return Err(AppError::new(
+                "preprocess",
+                format!("CV needs {need} bytes, slot has {}", out.len()),
+            ));
+        }
+        out[..4].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (e, &(key, val)) in entries.iter().enumerate() {
+            let o = 4 + e * 8;
+            out[o..o + 4].copy_from_slice(&key.to_le_bytes());
+            out[o + 4..o + 8].copy_from_slice(&val.to_le_bytes());
+        }
+        Ok(())
+    }
+}
+
+impl Application for BioApp {
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "bioinformatics"
+    }
+
+    fn item_count(&self) -> u64 {
+        self.species
+    }
+
+    fn file_for(&self, item: ItemId) -> String {
+        BioDataset::key(item)
+    }
+
+    fn parsed_bytes(&self) -> usize {
+        4 + self.proteome_len
+    }
+
+    fn item_bytes(&self) -> usize {
+        4 + self.max_entries() * 8
+    }
+
+    fn result_bytes(&self) -> usize {
+        8
+    }
+
+    fn parse(&self, item: ItemId, raw: &[u8], out: &mut [u8]) -> Result<(), AppError> {
+        let text = std::str::from_utf8(raw)
+            .map_err(|_| AppError::new("parse", format!("item {item}: not UTF-8")))?;
+        let mut codes = Vec::with_capacity(self.proteome_len);
+        let mut code_of = [255u8; 256];
+        for (c, &ch) in ALPHABET.iter().enumerate() {
+            code_of[ch as usize] = c as u8;
+        }
+        let mut saw_header = false;
+        for line in text.lines() {
+            if line.starts_with('>') {
+                saw_header = true;
+                continue;
+            }
+            for ch in line.bytes() {
+                let code = code_of[ch as usize];
+                if code == 255 {
+                    return Err(AppError::new(
+                        "parse",
+                        format!("item {item}: invalid residue '{}'", ch as char),
+                    ));
+                }
+                codes.push(code);
+            }
+        }
+        if !saw_header || codes.is_empty() {
+            return Err(AppError::new("parse", format!("item {item}: empty FASTA")));
+        }
+        if codes.len() + 4 > out.len() {
+            return Err(AppError::new(
+                "parse",
+                format!("item {item}: sequence longer than the configured proteome length"),
+            ));
+        }
+        out[..4].copy_from_slice(&(codes.len() as u32).to_le_bytes());
+        out[4..4 + codes.len()].copy_from_slice(&codes);
+        Ok(())
+    }
+
+    fn preprocess(&self, _item: ItemId, input: &[u8], out: &mut [u8]) -> Result<(), AppError> {
+        let len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+        let codes = &input[4..4 + len];
+        let cv = composition_vector(codes, self.k);
+        Self::encode_sparse(&cv, out)
+    }
+
+    fn compare(
+        &self,
+        left: (ItemId, &[u8]),
+        right: (ItemId, &[u8]),
+        out: &mut [u8],
+    ) -> Result<(), AppError> {
+        let a = Self::decode_sparse(left.1);
+        let b = Self::decode_sparse(right.1);
+        let corr = sparse_correlation(&a, &b);
+        let distance = (1.0 - corr) / 2.0;
+        out[..8].copy_from_slice(&distance.to_le_bytes());
+        Ok(())
+    }
+
+    fn postprocess(&self, _pair: Pair, raw: &[u8]) -> f64 {
+        f64::from_le_bytes(raw[..8].try_into().expect("8-byte result"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocket_storage::ObjectStore;
+
+    fn cv_of(ds: &BioDataset, app: &BioApp, i: u64) -> Vec<(u32, f32)> {
+        let raw = ds.store.read(&BioDataset::key(i)).unwrap();
+        let mut parsed = vec![0u8; app.parsed_bytes()];
+        app.parse(i, &raw, &mut parsed).unwrap();
+        let mut item = vec![0u8; app.item_bytes()];
+        app.preprocess(i, &parsed, &mut item).unwrap();
+        BioApp::decode_sparse(&item)
+    }
+
+    fn distance(ds: &BioDataset, app: &BioApp, i: u64, j: u64) -> f64 {
+        let a = cv_of(ds, app, i);
+        let b = cv_of(ds, app, j);
+        (1.0 - sparse_correlation(&a, &b)) / 2.0
+    }
+
+    fn small() -> (BioDataset, BioApp) {
+        let config = BioConfig { species: 12, clusters: 3, proteome_len: 3000, ..Default::default() };
+        let app = BioApp::new(&config);
+        (BioDataset::generate(config), app)
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let (ds, app) = small();
+        let raw = ds.store.read(&BioDataset::key(0)).unwrap();
+        assert!(raw.starts_with(b">sp00000"));
+        let mut parsed = vec![0u8; app.parsed_bytes()];
+        app.parse(0, &raw, &mut parsed).unwrap();
+        let len = u32::from_le_bytes([parsed[0], parsed[1], parsed[2], parsed[3]]) as usize;
+        assert_eq!(len, 3000);
+        assert!(parsed[4..4 + len].iter().all(|&c| c < 20));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        let (_, app) = small();
+        let mut out = vec![0u8; app.parsed_bytes()];
+        assert!(app.parse(0, b"no header\n", &mut out).is_err());
+        assert!(app.parse(0, b">h\nACDEFGHIKLXZ\n", &mut out).is_err());
+        assert!(app.parse(0, &[0xFF, 0xFE], &mut out).is_err());
+    }
+
+    #[test]
+    fn composition_vector_properties() {
+        let codes: Vec<u8> = (0..500).map(|i| (i * 7 % 20) as u8).collect();
+        let cv = composition_vector(&codes, 3);
+        assert!(!cv.is_empty());
+        // Sorted, unique keys within the dense range.
+        for w in cv.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(cv.iter().all(|&(k, _)| (k as usize) < 8000));
+        // Self correlation is exactly 1 → distance 0.
+        assert!((sparse_correlation(&cv, &cv) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_too_short_sequence_is_empty() {
+        assert!(composition_vector(&[1, 2], 3).is_empty());
+    }
+
+    #[test]
+    fn correlation_bounds_and_symmetry() {
+        let (ds, app) = small();
+        for i in 0..4u64 {
+            for j in (i + 1)..4 {
+                let d_ij = distance(&ds, &app, i, j);
+                let d_ji = distance(&ds, &app, j, i);
+                assert!((d_ij - d_ji).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&d_ij), "distance {d_ij} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_separate_in_cv_distance() {
+        let (ds, app) = small();
+        let n = ds.cluster_of.len() as u64;
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = distance(&ds, &app, i, j);
+                if ds.cluster_of[i as usize] == ds.cluster_of[j as usize] {
+                    within.push(d);
+                } else {
+                    between.push(d);
+                }
+            }
+        }
+        assert!(!within.is_empty() && !between.is_empty());
+        let max_within = within.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_between = between.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max_within < min_between,
+            "CV distance must separate clusters: {max_within:.4} vs {min_between:.4}"
+        );
+    }
+
+    #[test]
+    fn compare_through_trait_matches_direct() {
+        let (ds, app) = small();
+        let a = cv_of(&ds, &app, 0);
+        let b = cv_of(&ds, &app, 1);
+        let mut abuf = vec![0u8; app.item_bytes()];
+        let mut bbuf = vec![0u8; app.item_bytes()];
+        BioApp::encode_sparse(&a, &mut abuf).unwrap();
+        BioApp::encode_sparse(&b, &mut bbuf).unwrap();
+        let mut result = vec![0u8; 8];
+        app.compare((0, &abuf), (1, &bbuf), &mut result).unwrap();
+        let via_trait = app.postprocess(Pair::new(0, 1), &result);
+        let direct = (1.0 - sparse_correlation(&a, &b)) / 2.0;
+        assert!((via_trait - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_sparsity_is_irregular() {
+        // The paper calls this workload irregular because CV sizes differ;
+        // verify the synthetic data reproduces that.
+        let config = BioConfig { species: 6, proteome_len: 2000, ..Default::default() };
+        let app = BioApp::new(&config);
+        let ds = BioDataset::generate(config);
+        let sizes: Vec<usize> = (0..6).map(|i| cv_of(&ds, &app, i).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(min != max, "expected varying CV sizes, got {sizes:?}");
+    }
+}

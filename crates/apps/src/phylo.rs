@@ -1,0 +1,335 @@
+//! Hierarchical clustering of distance matrices into phylogenetic trees.
+//!
+//! The bioinformatics application's final step (§5.2: "hierarchical
+//! clustering of the distance matrix between all species"). Two standard
+//! algorithms are provided: UPGMA (average linkage) and Neighbor Joining
+//! (the usual choice for CV phylogenies). Both consume the condensed
+//! distance matrix produced by the all-pairs run.
+
+/// A rooted binary merge tree. Leaves are `0..n`; internal node `n + k` is
+/// created by the k-th merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Merges in creation order; `merges[k]` creates node `leaves + k`.
+    pub merges: Vec<Merge>,
+}
+
+/// One agglomeration step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First child node id.
+    pub a: usize,
+    /// Second child node id.
+    pub b: usize,
+    /// Height (cophenetic distance) at which the children join.
+    pub height: f64,
+}
+
+impl Tree {
+    /// The root node id (panics on an empty tree with ≥2 leaves unmerged).
+    pub fn root(&self) -> usize {
+        assert!(!self.merges.is_empty() || self.leaves == 1);
+        if self.leaves == 1 {
+            0
+        } else {
+            self.leaves + self.merges.len() - 1
+        }
+    }
+
+    /// The leaf ids under `node`, sorted.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if n < self.leaves {
+                out.push(n);
+            } else {
+                let m = self.merges[n - self.leaves];
+                stack.push(m.a);
+                stack.push(m.b);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Newick serialization (heights as branch annotations omitted for
+    /// leaves; internal nodes carry their merge height).
+    pub fn to_newick(&self, names: &dyn Fn(usize) -> String) -> String {
+        fn rec(tree: &Tree, node: usize, names: &dyn Fn(usize) -> String, out: &mut String) {
+            if node < tree.leaves {
+                out.push_str(&names(node));
+            } else {
+                let m = tree.merges[node - tree.leaves];
+                out.push('(');
+                rec(tree, m.a, names, out);
+                out.push(',');
+                rec(tree, m.b, names, out);
+                out.push(')');
+                out.push_str(&format!(":{:.4}", m.height));
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root(), names, &mut s);
+        s.push(';');
+        s
+    }
+}
+
+/// Index into a condensed upper-triangle distance vector for `i < j < n`.
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// UPGMA (average-linkage) clustering of a condensed distance matrix
+/// (`dist[condensed_index(n, i, j)]`, length `n(n−1)/2`).
+pub fn upgma(n: usize, dist: &[f64]) -> Tree {
+    assert!(n >= 1);
+    assert_eq!(dist.len(), n * (n - 1) / 2, "condensed matrix size");
+    // Active cluster list: (node id, member count). Distances kept in a
+    // mutable working copy between active clusters, indexed by position.
+    let mut nodes: Vec<(usize, usize)> = (0..n).map(|i| (i, 1)).collect();
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else {
+                        dist[condensed_index(n, i.min(j), i.max(j))]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    while nodes.len() > 1 {
+        // Find the closest active pair.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if d[i][j] < best {
+                    (bi, bj, best) = (i, j, d[i][j]);
+                }
+            }
+        }
+        let (ida, ca) = nodes[bi];
+        let (idb, cb) = nodes[bj];
+        let new_id = n + merges.len();
+        merges.push(Merge { a: ida, b: idb, height: best / 2.0 });
+        // UPGMA update: weighted average of the merged rows.
+        let mut new_row: Vec<f64> = Vec::with_capacity(nodes.len() - 1);
+        for k in 0..nodes.len() {
+            if k == bi || k == bj {
+                continue;
+            }
+            new_row.push((d[bi][k] * ca as f64 + d[bj][k] * cb as f64) / (ca + cb) as f64);
+        }
+        // Remove bj then bi (bj > bi) from both axes, then append the row.
+        for row in &mut d {
+            row.remove(bj);
+            row.remove(bi);
+        }
+        d.remove(bj);
+        d.remove(bi);
+        nodes.remove(bj);
+        nodes.remove(bi);
+        for (k, row) in d.iter_mut().enumerate() {
+            row.push(new_row[k]);
+        }
+        new_row.push(0.0);
+        d.push(new_row);
+        nodes.push((new_id, ca + cb));
+    }
+    Tree { leaves: n, merges }
+}
+
+/// Neighbor Joining of a condensed distance matrix. Returns a rooted tree
+/// (the final join acts as the root), with Q-criterion joins.
+pub fn neighbor_joining(n: usize, dist: &[f64]) -> Tree {
+    assert!(n >= 1);
+    assert_eq!(dist.len(), n * (n - 1) / 2, "condensed matrix size");
+    if n == 1 {
+        return Tree { leaves: 1, merges: Vec::new() };
+    }
+    let mut nodes: Vec<usize> = (0..n).collect();
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else {
+                        dist[condensed_index(n, i.min(j), i.max(j))]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut merges = Vec::with_capacity(n - 1);
+    while nodes.len() > 2 {
+        let m = nodes.len();
+        let row_sums: Vec<f64> = (0..m).map(|i| d[i].iter().sum()).collect();
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let q = (m as f64 - 2.0) * d[i][j] - row_sums[i] - row_sums[j];
+                if q < best {
+                    (bi, bj, best) = (i, j, q);
+                }
+            }
+        }
+        let new_id = n + merges.len();
+        merges.push(Merge { a: nodes[bi], b: nodes[bj], height: d[bi][bj] / 2.0 });
+        // Distance from the new node to the rest.
+        let mut new_row: Vec<f64> = Vec::with_capacity(m - 1);
+        for k in 0..m {
+            if k == bi || k == bj {
+                continue;
+            }
+            new_row.push(0.5 * (d[bi][k] + d[bj][k] - d[bi][bj]));
+        }
+        for row in &mut d {
+            row.remove(bj);
+            row.remove(bi);
+        }
+        d.remove(bj);
+        d.remove(bi);
+        nodes.remove(bj);
+        nodes.remove(bi);
+        for (k, row) in d.iter_mut().enumerate() {
+            row.push(new_row[k]);
+        }
+        new_row.push(0.0);
+        d.push(new_row);
+        nodes.push(new_id);
+    }
+    if nodes.len() == 2 {
+        merges.push(Merge { a: nodes[0], b: nodes[1], height: d[0][1] / 2.0 });
+    }
+    Tree { leaves: n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Condensed matrix helper.
+    fn condensed(n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                v.push(f(i, j));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn condensed_index_is_dense_and_ordered() {
+        let n = 7;
+        let mut seen = vec![false; n * (n - 1) / 2];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = condensed_index(n, i, j);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn upgma_textbook_example() {
+        // Classic 4-taxon example: a,b close; c,d close; groups far apart.
+        let d = condensed(4, |i, j| match (i, j) {
+            (0, 1) => 2.0,
+            (2, 3) => 2.0,
+            _ => 8.0,
+        });
+        let tree = upgma(4, &d);
+        assert_eq!(tree.merges.len(), 3);
+        // First two merges join {0,1} and {2,3} at height 1.
+        let first_two: Vec<Vec<usize>> = (0..2)
+            .map(|k| tree.leaves_under(4 + k))
+            .collect();
+        assert!(first_two.contains(&vec![0, 1]));
+        assert!(first_two.contains(&vec![2, 3]));
+        assert!((tree.merges[0].height - 1.0).abs() < 1e-12);
+        assert!((tree.merges[2].height - 4.0).abs() < 1e-12);
+        assert_eq!(tree.leaves_under(tree.root()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn upgma_single_and_pair() {
+        let t1 = upgma(1, &[]);
+        assert_eq!(t1.root(), 0);
+        let t2 = upgma(2, &[3.0]);
+        assert_eq!(t2.merges.len(), 1);
+        assert!((t2.merges[0].height - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nj_recovers_additive_tree_structure() {
+        // Additive tree: ((0,1),(2,3)) with internal edge. Distances:
+        // d(0,1)=2, d(2,3)=2, cross pairs = 6.
+        let d = condensed(4, |i, j| match (i, j) {
+            (0, 1) => 2.0,
+            (2, 3) => 2.0,
+            _ => 6.0,
+        });
+        let tree = neighbor_joining(4, &d);
+        assert_eq!(tree.merges.len(), 3);
+        let groups: Vec<Vec<usize>> = (0..2).map(|k| tree.leaves_under(4 + k)).collect();
+        assert!(groups.contains(&vec![0, 1]) || groups.contains(&vec![2, 3]));
+        assert_eq!(tree.leaves_under(tree.root()), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cluster_monophyly_from_noisy_distances() {
+        // 9 leaves in 3 clusters with noisy within/between distances.
+        let cluster = |x: usize| x / 3;
+        let d = condensed(9, |i, j| {
+            let base = if cluster(i) == cluster(j) { 0.1 } else { 1.0 };
+            // Deterministic jitter.
+            base + 0.01 * ((i * 7 + j * 13) % 10) as f64
+        });
+        for (rooted, tree) in [(true, upgma(9, &d)), (false, neighbor_joining(9, &d))] {
+            // Some internal node must contain exactly each cluster. NJ
+            // trees are unrooted (our root is just the final join), so a
+            // cluster may also appear as the complement of a clade.
+            for c in 0..3 {
+                let want: Vec<usize> = (3 * c..3 * c + 3).collect();
+                let complement: Vec<usize> = (0..9).filter(|l| !want.contains(l)).collect();
+                let found = (tree.leaves..tree.leaves + tree.merges.len()).any(|n| {
+                    let under = tree.leaves_under(n);
+                    under == want || (!rooted && under == complement)
+                });
+                assert!(found, "cluster {c} not monophyletic in {tree:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn newick_output_is_wellformed() {
+        let d = condensed(3, |_, _| 1.0);
+        let tree = upgma(3, &d);
+        let newick = tree.to_newick(&|i| format!("sp{i}"));
+        assert!(newick.ends_with(';'));
+        assert_eq!(newick.matches('(').count(), 2);
+        assert!(newick.contains("sp0"));
+        assert!(newick.contains("sp2"));
+    }
+
+    #[test]
+    fn heights_monotone_for_upgma() {
+        let d = condensed(6, |i, j| ((i + 1) * (j + 2) % 7 + 1) as f64);
+        let tree = upgma(6, &d);
+        for w in tree.merges.windows(2) {
+            assert!(w[0].height <= w[1].height + 1e-12, "UPGMA heights must be monotone");
+        }
+    }
+}

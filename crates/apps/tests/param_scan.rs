@@ -1,0 +1,46 @@
+use rocket_apps::microscopy::*;
+use rocket_core::Application;
+use rocket_storage::ObjectStore;
+
+#[test]
+#[ignore]
+fn scan() {
+    for noise in [0.02f64, 0.04, 0.06] {
+        let config = MicroscopyConfig {
+            particles: 10, structures: 1, labelling: 1.0, noise,
+            points_min: 80, points_max: 140, ..Default::default()
+        };
+        let app = MicroscopyApp::new(&config);
+        let ds = MicroscopyDataset::generate(config.clone());
+        let pts = |i: u64| {
+            let raw = ds.store.read(&MicroscopyDataset::key(i)).unwrap();
+            let mut parsed = vec![0u8; app.parsed_bytes()];
+            app.parse(i, &raw, &mut parsed).unwrap();
+            let n = u32::from_le_bytes(parsed[..4].try_into().unwrap()) as usize;
+            (0..n).map(|p| {
+                let o = 4 + p * 8;
+                (f32::from_le_bytes(parsed[o..o+4].try_into().unwrap()),
+                 f32::from_le_bytes(parsed[o+4..o+8].try_into().unwrap()))
+            }).collect::<Vec<_>>()
+        };
+        let tau = std::f64::consts::TAU;
+        for grid in [24usize, 48, 96] {
+            for sig_mult in [1.0f64, 2.0, 3.0] {
+                let sigma = 2.0 * noise * sig_mult;
+                let mut worst = 0.0f64;
+                let mut fails = 0;
+                for i in 0..10usize {
+                    for j in (i+1)..10 {
+                        let reg = register(&pts(i as u64), &pts(j as u64), Metric::GmmL2, grid, sigma);
+                        let expected = (ds.rotation_of[j] - ds.rotation_of[i]).rem_euclid(tau);
+                        let mut err = (reg.rotation - expected).abs();
+                        err = err.min(tau - err);
+                        worst = worst.max(err);
+                        if err > 0.15 { fails += 1; }
+                    }
+                }
+                eprintln!("noise={noise} grid={grid} sigma={sigma:.3}: worst={:.1}deg fails={fails}/45", worst.to_degrees());
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Micro-benchmarks for the wire codec (Ibis-substitute message layer).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rocket_cache::DirectoryMsg;
+use rocket_comm::Wire;
+use rocket_core::engine::messages::NodeMsg;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let probe = NodeMsg::Dir(DirectoryMsg::Probe {
+        item: 123_456,
+        requester: 7,
+        rest: vec![1, 2, 3],
+        hop: 2,
+    });
+    group.bench_function("encode_probe", |b| {
+        b.iter(|| black_box(&probe).to_bytes());
+    });
+    let encoded = probe.to_bytes();
+    group.bench_function("decode_probe", |b| {
+        b.iter(|| NodeMsg::from_bytes(black_box(encoded.clone())).unwrap());
+    });
+
+    let reply = NodeMsg::FetchReply {
+        item: 42,
+        data: Some(Bytes::from(vec![0u8; 1_000_000])),
+    };
+    group.throughput(Throughput::Bytes(1_000_000));
+    group.bench_function("encode_1mb_fetch_reply", |b| {
+        b.iter(|| black_box(&reply).to_bytes());
+    });
+    let encoded = reply.to_bytes();
+    group.bench_function("decode_1mb_fetch_reply", |b| {
+        b.iter(|| NodeMsg::from_bytes(black_box(encoded.clone())).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

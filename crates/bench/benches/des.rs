@@ -1,0 +1,66 @@
+//! Micro-benchmarks for the discrete-event simulator: raw event-queue
+//! throughput and full cluster-simulation rate (pairs simulated/second).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rocket_apps::WorkloadProfile;
+use rocket_sim::{simulate, EventQueue, SimConfig, SimNodeConfig};
+use rocket_stats::Dist;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("schedule_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        // Keep a standing population of 1024 events.
+        for i in 0..1024 {
+            q.schedule_at(i, i);
+        }
+        b.iter(|| {
+            let (at, _) = q.pop().expect("event");
+            t = at + 1000;
+            q.schedule_at(black_box(t), t);
+        });
+    });
+    group.finish();
+}
+
+fn toy_workload(items: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "bench",
+        items,
+        file_bytes: 1_000_000,
+        item_bytes: 10_000_000,
+        parse: Dist::Constant(10e-3),
+        preprocess: Some(Dist::Constant(5e-3)),
+        compare: Dist::Constant(1e-3),
+        postprocess: Dist::Constant(0.0),
+        paper_device_slots: 16,
+        paper_host_slots: 64,
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let n = 96u64;
+    group.throughput(Throughput::Elements(n * (n - 1) / 2));
+    group.bench_function("single_node_n96", |b| {
+        let cfg = SimConfig::cluster(
+            toy_workload(n),
+            vec![SimNodeConfig::uniform(1, 32, 64)],
+        );
+        b.iter(|| simulate(black_box(&cfg)).pairs);
+    });
+    group.bench_function("four_nodes_n96_distcache", |b| {
+        let cfg = SimConfig::cluster(
+            toy_workload(n),
+            vec![SimNodeConfig::uniform(1, 16, 32); 4],
+        );
+        b.iter(|| simulate(black_box(&cfg)).pairs);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the work decomposition (§4.2): quadrant counting,
+//! splitting, leaf iteration, and end-to-end pool throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rocket_steal::{Block, StealPool, StealPoolConfig, TaskDeque, WorkerTopology};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadrant");
+    group.bench_function("count_closed_form", |b| {
+        let block = Block { row_lo: 123, row_hi: 40_000, col_lo: 5_000, col_hi: 90_000 };
+        b.iter(|| black_box(block).count());
+    });
+    group.bench_function("split_root_4980", |b| {
+        let root = Block::root(4980);
+        b.iter(|| black_box(root).split());
+    });
+    group.bench_function("full_decomposition_n512", |b| {
+        // Split until leaves ≤ 64 pairs, counting leaves.
+        b.iter(|| {
+            let mut deque = TaskDeque::new();
+            deque.push(Block::root(512));
+            let mut leaves = 0u64;
+            while let Some(block) = deque.pop() {
+                if block.count() <= 64 {
+                    leaves += block.count();
+                } else {
+                    for child in block.split() {
+                        deque.push(child);
+                    }
+                }
+            }
+            assert_eq!(leaves, 512 * 511 / 2);
+            leaves
+        });
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steal_pool");
+    let n = 256u64;
+    group.throughput(Throughput::Elements(n * (n - 1) / 2));
+    group.bench_function("run_n256_2workers", |b| {
+        b.iter(|| {
+            let count = AtomicU64::new(0);
+            StealPool::run(
+                n,
+                &WorkerTopology::single_node(2),
+                &StealPoolConfig { leaf_pairs: 32, ..Default::default() },
+                |_, _| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            count.load(Ordering::Relaxed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerate the Rocket paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--scale N] [--out DIR] [--seed S]
+//! ```
+//!
+//! Experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
+//! fig14, fig15, model. Reports print to stdout and land in `--out`
+//! (default `results/`) alongside CSV series for plotting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rocket_bench::experiments::{run_experiment, ExpOptions, ALL_EXPERIMENTS};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S]");
+    eprintln!("experiments:");
+    for (name, _) in ALL_EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut target = String::new();
+    let mut opts = ExpOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.extra_scale = v,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => opts.out_dir = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            name if target.is_empty() => target = name.to_string(),
+            _ => return usage(),
+        }
+    }
+    let selected: Vec<_> = if target == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        match ALL_EXPERIMENTS.iter().find(|&&(n, _)| n == target) {
+            Some(&entry) => vec![entry],
+            None => {
+                eprintln!("unknown experiment '{target}'");
+                return usage();
+            }
+        }
+    };
+    for (name, exp) in selected {
+        eprintln!("== running {name} ==");
+        let t0 = std::time::Instant::now();
+        let report = run_experiment(exp, &opts);
+        println!("{report}");
+        eprintln!(
+            "== {name} done in {:.1}s (written to {}) ==\n",
+            t0.elapsed().as_secs_f64(),
+            opts.out_dir.join(format!("{name}.txt")).display()
+        );
+    }
+    ExitCode::SUCCESS
+}

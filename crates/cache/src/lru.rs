@@ -1,0 +1,194 @@
+//! Intrusive O(1) LRU list over slot indices.
+//!
+//! The cache-size sweep of the paper's Fig 9 reaches millions of slots for
+//! the microscopy application, so eviction must not scan: this list gives
+//! O(1) touch / remove / evict using `Vec`-backed prev/next links.
+
+const NIL: usize = usize::MAX;
+
+/// Doubly-linked LRU list over indices `0..capacity`.
+///
+/// Front = most recently used; back = least recently used (eviction victim).
+#[derive(Debug, Clone)]
+pub struct LruList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    in_list: Vec<bool>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl LruList {
+    /// Creates an empty list able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            in_list: vec![false; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of indices currently in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `idx` is currently linked.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.in_list[idx]
+    }
+
+    /// Links `idx` at the front (most recently used). Panics if linked.
+    pub fn push_front(&mut self, idx: usize) {
+        assert!(!self.in_list[idx], "index {idx} already in LRU list");
+        self.prev[idx] = NIL;
+        self.next[idx] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.in_list[idx] = true;
+        self.len += 1;
+    }
+
+    /// Unlinks `idx`. Panics if not linked.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(self.in_list[idx], "index {idx} not in LRU list");
+        let (p, n) = (self.prev[idx], self.next[idx]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[idx] = NIL;
+        self.next[idx] = NIL;
+        self.in_list[idx] = false;
+        self.len -= 1;
+    }
+
+    /// Unlinks and returns the least-recently-used index, if any.
+    pub fn pop_back(&mut self) -> Option<usize> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.remove(idx);
+        Some(idx)
+    }
+
+    /// Moves `idx` to the front (marks it most recently used).
+    pub fn touch(&mut self, idx: usize) {
+        if self.in_list[idx] {
+            self.remove(idx);
+        }
+        self.push_front(idx);
+    }
+
+    /// Iterates indices from most- to least-recently used (for testing).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let out = cur;
+                cur = self.next[cur];
+                Some(out)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_pop_order() {
+        let mut l = LruList::new(4);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        // 0 is least recently used.
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new(3);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        l.touch(0); // 0 becomes MRU; 1 is now LRU.
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 2, 1]);
+        assert_eq!(l.pop_back(), Some(1));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = LruList::new(3);
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        l.remove(1);
+        assert!(!l.contains(1));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 0]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = LruList::new(2);
+        l.push_front(0);
+        l.push_front(1);
+        l.remove(1); // head
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0]);
+        l.remove(0); // tail == head
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in LRU list")]
+    fn double_push_panics() {
+        let mut l = LruList::new(1);
+        l.push_front(0);
+        l.push_front(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in LRU list")]
+    fn remove_unlinked_panics() {
+        let mut l = LruList::new(1);
+        l.remove(0);
+    }
+
+    #[test]
+    fn reuse_after_pop() {
+        let mut l = LruList::new(2);
+        l.push_front(0);
+        assert_eq!(l.pop_back(), Some(0));
+        l.push_front(0);
+        assert!(l.contains(0));
+        assert_eq!(l.len(), 1);
+    }
+}

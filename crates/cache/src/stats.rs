@@ -1,0 +1,126 @@
+//! Cache and data-reuse statistics.
+
+/// Counters for one [`crate::SlotCache`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests satisfied by a READ slot immediately.
+    pub hits: u64,
+    /// Requests that found the item being written and had to wait.
+    pub hits_pending: u64,
+    /// Requests that missed and reserved a slot for loading.
+    pub misses: u64,
+    /// Requests that found no evictable slot and had to back off.
+    pub capacity_stalls: u64,
+    /// Occupied slots discarded to make room.
+    pub evictions: u64,
+    /// Writes aborted (load failures).
+    pub aborts: u64,
+}
+
+impl CacheStats {
+    /// Total requests observed (hits + pending hits + misses; capacity
+    /// stalls are retried and counted again on the retry).
+    pub fn requests(&self) -> u64 {
+        self.hits + self.hits_pending + self.misses
+    }
+
+    /// Hit ratio over all requests, counting pending hits as hits (the data
+    /// was present or in flight — no extra load was triggered).
+    pub fn hit_ratio(&self) -> f64 {
+        let req = self.requests();
+        if req == 0 {
+            0.0
+        } else {
+            (self.hits + self.hits_pending) as f64 / req as f64
+        }
+    }
+
+    /// Adds another instance's counters (for per-node → cluster roll-ups).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.hits_pending += other.hits_pending;
+        self.misses += other.misses;
+        self.capacity_stalls += other.capacity_stalls;
+        self.evictions += other.evictions;
+        self.aborts += other.aborts;
+    }
+}
+
+/// Tracks the paper's R metric: the number of load-pipeline executions
+/// relative to the data-set size (§6.1). `R = 1` is perfect reuse: every
+/// item loaded exactly once cluster-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Number of items in the data set (n).
+    pub items: u64,
+    /// Total executions of the load pipeline ℓ across all nodes.
+    pub loads: u64,
+}
+
+impl ReuseStats {
+    /// Creates reuse stats for a data set of `n` items.
+    pub fn new(items: u64) -> Self {
+        Self { items, loads: 0 }
+    }
+
+    /// Records one execution of ℓ.
+    pub fn record_load(&mut self) {
+        self.loads += 1;
+    }
+
+    /// The relative number of loads R = loads / n.
+    pub fn r_factor(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.items as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_counts_pending_as_hits() {
+        let s = CacheStats {
+            hits: 6,
+            hits_pending: 2,
+            misses: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.requests(), 10);
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_zero() {
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats {
+            hits: 1,
+            hits_pending: 2,
+            misses: 3,
+            capacity_stalls: 4,
+            evictions: 5,
+            aborts: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.aborts, 12);
+    }
+
+    #[test]
+    fn r_factor_basics() {
+        let mut r = ReuseStats::new(100);
+        for _ in 0..430 {
+            r.record_load();
+        }
+        assert!((r.r_factor() - 4.3).abs() < 1e-12);
+        assert_eq!(ReuseStats::new(0).r_factor(), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! In-process cluster transport for Rocket — the stand-in for the paper's
+//! Ibis communication library.
+//!
+//! Rocket's distributed pieces (the level-3 cache directory, remote item
+//! fetches, work-steal requests) need exactly what Ibis gave the original:
+//! reliable, ordered, point-to-point messages between cluster nodes, plus
+//! accounting of bytes on the wire (the simulator and the I/O figures need
+//! message sizes).
+//!
+//! * [`wire`] — a compact binary codec over [`bytes`] with exact encoded-size
+//!   accounting; protocol messages implement [`wire::Wire`].
+//! * [`transport`] — [`transport::LocalCluster`] wires `p` in-process node
+//!   [`transport::Endpoint`]s together over crossbeam channels. Nodes are
+//!   threads of one process; the latency/bandwidth of a physical network is
+//!   modelled by the simulator, not here.
+
+#![warn(missing_docs)]
+
+pub mod transport;
+pub mod wire;
+
+pub use transport::{CommStats, Endpoint, LocalCluster, RecvError};
+pub use wire::{Wire, WireError, WireReader, WireWriter};

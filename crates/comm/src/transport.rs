@@ -1,0 +1,205 @@
+//! In-process node endpoints connected by crossbeam channels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Cluster node identifier (rank).
+pub type NodeId = usize;
+
+/// Receive-side errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All peers hung up and the queue is drained.
+    Disconnected,
+}
+
+/// Per-cluster message counters.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// Total messages delivered to channels.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// An incoming message: sender plus payload.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// Rank of the sending node.
+    pub from: NodeId,
+    /// Message payload.
+    pub payload: Bytes,
+}
+
+/// One node's connection to the cluster.
+///
+/// Sends are non-blocking (unbounded queues); receive order from a single
+/// peer is FIFO, matching Ibis's reliable ordered channels.
+pub struct Endpoint {
+    node: NodeId,
+    peers: Vec<Sender<Incoming>>,
+    inbox: Receiver<Incoming>,
+    stats: Arc<CommStats>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn cluster_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends `payload` to node `to` (which may be this node itself — the
+    /// directory protocol produces self-addressed messages).
+    pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), RecvError> {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.peers[to]
+            .send(Incoming { from: self.node, payload })
+            .map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Receives the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Incoming, RecvError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<Incoming> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Shared counters of the cluster this endpoint belongs to.
+    pub fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A clone of the inbox receiver, allowing a dedicated receive thread
+    /// while the endpoint itself stays with the sender (receivers taken this
+    /// way steal messages from each other — use one).
+    pub fn receiver(&self) -> Receiver<Incoming> {
+        self.inbox.clone()
+    }
+}
+
+/// Builder for a set of interconnected [`Endpoint`]s.
+pub struct LocalCluster;
+
+impl LocalCluster {
+    /// Creates `p` fully connected endpoints (index = rank).
+    pub fn new(p: usize) -> Vec<Endpoint> {
+        assert!(p > 0);
+        let stats = Arc::new(CommStats::default());
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(node, inbox)| Endpoint {
+                node,
+                peers: senders.clone(),
+                inbox,
+                stats: Arc::clone(&stats),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let eps = LocalCluster::new(3);
+        eps[0].send(2, Bytes::from_static(b"hi")).unwrap();
+        let msg = eps[2].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.from, 0);
+        assert_eq!(msg.payload.as_ref(), b"hi");
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let eps = LocalCluster::new(2);
+        eps[1].send(1, Bytes::from_static(b"me")).unwrap();
+        let msg = eps[1].try_recv().unwrap();
+        assert_eq!(msg.from, 1);
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let eps = LocalCluster::new(2);
+        for i in 0..10u8 {
+            eps[0].send(1, Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            let msg = eps[1].try_recv().unwrap();
+            assert_eq!(msg.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn timeout_when_quiet() {
+        let eps = LocalCluster::new(2);
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let eps = LocalCluster::new(2);
+        eps[0].send(1, Bytes::from(vec![0u8; 100])).unwrap();
+        eps[1].send(0, Bytes::from(vec![0u8; 50])).unwrap();
+        let stats = eps[0].stats();
+        assert_eq!(stats.messages(), 2);
+        assert_eq!(stats.bytes(), 150);
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let mut eps = LocalCluster::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Echo server on node 1.
+            let msg = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            b.send(msg.from, msg.payload).unwrap();
+        });
+        a.send(1, Bytes::from_static(b"ping")).unwrap();
+        let reply = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.payload.as_ref(), b"ping");
+        assert_eq!(reply.from, 1);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! The user-facing application interface (the paper's Fig 3).
+//!
+//! An all-pairs application supplies four functions plus size metadata:
+//!
+//! | paper            | here              | resource |
+//! |------------------|-------------------|----------|
+//! | `parseFile`      | [`Application::parse`]       | CPU |
+//! | `preprocessGPU`  | [`Application::preprocess`]  | GPU |
+//! | `compareGPU`     | [`Application::compare`]     | GPU |
+//! | `postprocess`    | [`Application::postprocess`] | CPU |
+//!
+//! plus `getFilePathForKey` → [`Application::file_for`]. Rocket handles
+//! everything else: I/O, transfers, caching, scheduling, load balancing,
+//! and overlapping computation with data movement.
+//!
+//! "GPU" kernels receive raw byte slices resident in (virtual) device
+//! memory; [`bytesutil`] offers safe f32/f64 view helpers since most
+//! scientific payloads are float arrays.
+
+use rocket_cache::ItemId;
+use rocket_steal::Pair;
+
+use crate::error::AppError;
+
+/// An all-pairs application (the paper's Fig 3 interface).
+///
+/// Items are addressed by dense indices `0..n`. All stages must be pure
+/// (deterministic, no shared mutable state) — determinism of `ℓ` is what
+/// makes cached results reusable (§4).
+pub trait Application: Send + Sync + 'static {
+    /// Per-pair output delivered to the caller.
+    type Output: Send + 'static;
+
+    /// Human-readable application name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Number of items in the data set.
+    fn item_count(&self) -> u64;
+
+    /// Storage key (file path) of an item — `getFilePathForKey`.
+    fn file_for(&self, item: ItemId) -> String;
+
+    /// Size in bytes of the *parsed* representation (CPU output, GPU
+    /// pre-processing input).
+    fn parsed_bytes(&self) -> usize;
+
+    /// Size in bytes of the *pre-processed* item — this is the cache slot
+    /// size at both the device and host levels (Table 1's "Cache Slot
+    /// Size").
+    fn item_bytes(&self) -> usize;
+
+    /// Size in bytes of one comparison's raw result buffer.
+    fn result_bytes(&self) -> usize;
+
+    /// Whether the application has a GPU pre-processing stage. When
+    /// `false` (e.g. the microscopy application), the parsed bytes *are*
+    /// the item bytes and `preprocess` is never called.
+    fn has_preprocess(&self) -> bool {
+        true
+    }
+
+    /// CPU stage: decode the raw file into the parsed representation.
+    /// `out` has length [`Application::parsed_bytes`].
+    fn parse(&self, item: ItemId, raw: &[u8], out: &mut [u8]) -> Result<(), AppError>;
+
+    /// GPU stage: transform parsed data into the comparable item form.
+    /// `input` has length `parsed_bytes()`, `out` has `item_bytes()`.
+    fn preprocess(&self, item: ItemId, input: &[u8], out: &mut [u8]) -> Result<(), AppError> {
+        let _ = item;
+        let n = out.len().min(input.len());
+        out[..n].copy_from_slice(&input[..n]);
+        Ok(())
+    }
+
+    /// GPU stage: compare two pre-processed items; `out` has
+    /// `result_bytes()`.
+    fn compare(
+        &self,
+        left: (ItemId, &[u8]),
+        right: (ItemId, &[u8]),
+        out: &mut [u8],
+    ) -> Result<(), AppError>;
+
+    /// CPU stage: interpret the raw result buffer.
+    fn postprocess(&self, pair: Pair, raw: &[u8]) -> Self::Output;
+}
+
+/// Byte-buffer view helpers for float payloads.
+///
+/// Copy-based (not transmuting), so they are alignment-safe on every
+/// platform; the virtual device's buffers are plain host memory and these
+/// conversions are a negligible share of kernel cost.
+pub mod bytesutil {
+    /// Writes `values` as little-endian f32s at the start of `out`.
+    /// Panics if `out` is too small.
+    pub fn write_f32(out: &mut [u8], values: &[f32]) {
+        assert!(out.len() >= values.len() * 4, "buffer too small");
+        for (chunk, v) in out.chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads `count` little-endian f32s from the start of `buf`.
+    pub fn read_f32(buf: &[u8], count: usize) -> Vec<f32> {
+        assert!(buf.len() >= count * 4, "buffer too small");
+        buf.chunks_exact(4)
+            .take(count)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Writes `values` as little-endian f64s at the start of `out`.
+    pub fn write_f64(out: &mut [u8], values: &[f64]) {
+        assert!(out.len() >= values.len() * 8, "buffer too small");
+        for (chunk, v) in out.chunks_exact_mut(8).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads `count` little-endian f64s from the start of `buf`.
+    pub fn read_f64(buf: &[u8], count: usize) -> Vec<f64> {
+        assert!(buf.len() >= count * 8, "buffer too small");
+        buf.chunks_exact(8)
+            .take(count)
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect()
+    }
+
+    /// Writes one u32 length header followed by f32 payload; returns bytes
+    /// used. A common layout for variable-length sparse data in fixed slots.
+    pub fn write_len_prefixed_f32(out: &mut [u8], values: &[f32]) -> usize {
+        let need = 4 + values.len() * 4;
+        assert!(out.len() >= need, "buffer too small");
+        out[..4].copy_from_slice(&(values.len() as u32).to_le_bytes());
+        write_f32(&mut out[4..], values);
+        need
+    }
+
+    /// Reads a u32-length-prefixed f32 payload.
+    pub fn read_len_prefixed_f32(buf: &[u8]) -> Vec<f32> {
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        read_f32(&buf[4..], len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bytesutil::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [1.5f32, -2.25, 0.0, f32::MAX];
+        let mut buf = vec![0u8; 16];
+        write_f32(&mut buf, &vals);
+        assert_eq!(read_f32(&buf, 4), vals);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = [std::f64::consts::PI, -0.5];
+        let mut buf = vec![0u8; 16];
+        write_f64(&mut buf, &vals);
+        assert_eq!(read_f64(&buf, 2), vals);
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let vals = [3.0f32, 4.0, 5.0];
+        let mut buf = vec![0u8; 64];
+        let used = write_len_prefixed_f32(&mut buf, &vals);
+        assert_eq!(used, 16);
+        assert_eq!(read_len_prefixed_f32(&buf), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn write_overflow_panics() {
+        let mut buf = vec![0u8; 4];
+        write_f32(&mut buf, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn partial_reads() {
+        let mut buf = vec![0u8; 12];
+        write_f32(&mut buf, &[7.0, 8.0, 9.0]);
+        assert_eq!(read_f32(&buf, 2), vec![7.0, 8.0]);
+    }
+}

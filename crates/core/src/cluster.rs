@@ -1,0 +1,211 @@
+//! Cluster driver: wires nodes, the work-stealing pool, and result
+//! collection into one `run` call.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use rocket_cache::{CacheStats, DirectoryStats};
+use rocket_comm::LocalCluster;
+use rocket_steal::{Pair, StealPool, StealPoolConfig, StealStats, WorkerTopology};
+use rocket_storage::ObjectStore;
+use rocket_trace::Timeline;
+
+use crate::app::Application;
+use crate::config::RocketConfig;
+use crate::engine::node::{spawn_node, NodeReport};
+use crate::error::RocketError;
+
+/// Outcome of a full all-pairs run.
+#[derive(Debug)]
+pub struct RunReport<O> {
+    /// Number of items in the data set.
+    pub items: u64,
+    /// Per-pair outputs (submission order; use
+    /// [`RunReport::sorted_outputs`] for a canonical order).
+    pub outputs: Vec<(Pair, O)>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-node statistics.
+    pub nodes: Vec<NodeReport>,
+    /// Work-stealing statistics.
+    pub steal: StealStats,
+}
+
+impl<O> RunReport<O> {
+    /// Total executions of the load pipeline ℓ across the cluster.
+    pub fn total_loads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.loads).sum()
+    }
+
+    /// The paper's R metric: loads relative to the data-set size (§6.1).
+    pub fn r_factor(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.total_loads() as f64 / self.items as f64
+        }
+    }
+
+    /// Items served from remote host caches (level-3 hits).
+    pub fn total_remote_fetches(&self) -> u64 {
+        self.nodes.iter().map(|n| n.remote_fetches).sum()
+    }
+
+    /// Merged device-cache statistics.
+    pub fn device_cache(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for n in &self.nodes {
+            s.merge(&n.device_cache);
+        }
+        s
+    }
+
+    /// Merged host-cache statistics.
+    pub fn host_cache(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for n in &self.nodes {
+            s.merge(&n.host_cache);
+        }
+        s
+    }
+
+    /// Merged distributed-cache lookup statistics (Fig 11's data).
+    pub fn directory(&self) -> DirectoryStats {
+        let mut s = DirectoryStats::default();
+        for n in &self.nodes {
+            s.merge(&n.directory);
+        }
+        s
+    }
+
+    /// All permanently failed pairs with causes.
+    pub fn failed(&self) -> Vec<&(Pair, String)> {
+        self.nodes.iter().flat_map(|n| n.failed.iter()).collect()
+    }
+
+    /// Outputs sorted by pair (canonical order for comparisons).
+    pub fn sorted_outputs(&self) -> Vec<&(Pair, O)> {
+        let mut v: Vec<&(Pair, O)> = self.outputs.iter().collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+
+    /// A merged timeline of all nodes' trace spans.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::new(self.nodes.iter().flat_map(|n| n.spans.iter().copied()).collect())
+    }
+}
+
+/// The Rocket runtime front door.
+///
+/// `Rocket::new(config).run(app, store)` executes the all-pairs problem on
+/// one node; [`Rocket::run_cluster`] runs an in-process cluster with one
+/// configuration per node (heterogeneous setups pass different device
+/// profiles per node).
+pub struct Rocket {
+    config: RocketConfig,
+}
+
+impl Rocket {
+    /// Creates a runtime with the given single-node configuration.
+    pub fn new(config: RocketConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs an application on one node.
+    pub fn run<A: Application>(
+        &self,
+        app: Arc<A>,
+        store: Arc<dyn ObjectStore>,
+    ) -> Result<RunReport<A::Output>, RocketError> {
+        Self::run_cluster(app, store, vec![self.config.clone()])
+    }
+
+    /// Runs an application on an in-process cluster, one configuration per
+    /// node. All nodes share `store` (the paper's central file server).
+    pub fn run_cluster<A: Application>(
+        app: Arc<A>,
+        store: Arc<dyn ObjectStore>,
+        configs: Vec<RocketConfig>,
+    ) -> Result<RunReport<A::Output>, RocketError> {
+        if configs.is_empty() {
+            return Err(RocketError::Config("at least one node required".into()));
+        }
+        for c in &configs {
+            c.validate().map_err(RocketError::Config)?;
+        }
+        let nodes = configs.len();
+        let n = app.item_count();
+        let outputs = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+
+        let mut endpoints: Vec<Option<_>> = if nodes > 1 {
+            LocalCluster::new(nodes).into_iter().map(Some).collect()
+        } else {
+            vec![None]
+        };
+
+        // Worker topology: one work-stealing worker per GPU (§4.2).
+        let mut worker_map = Vec::new();
+        for (node, cfg) in configs.iter().enumerate() {
+            for dev in 0..cfg.devices.len() {
+                worker_map.push((node, dev));
+            }
+        }
+        let topology = WorkerTopology {
+            node_of: worker_map.iter().map(|&(n, _)| n).collect(),
+        };
+
+        let handles: Vec<_> = configs
+            .iter()
+            .enumerate()
+            .map(|(node_id, cfg)| {
+                spawn_node(
+                    Arc::clone(&app),
+                    cfg.clone(),
+                    node_id,
+                    nodes,
+                    Arc::clone(&store),
+                    endpoints[node_id].take(),
+                    Arc::clone(&outputs),
+                )
+            })
+            .collect();
+
+        let pool_cfg = StealPoolConfig {
+            leaf_pairs: configs[0].leaf_pairs,
+            seed: configs[0].seed,
+            ..Default::default()
+        };
+        let steal = StealPool::run(n, &topology, &pool_cfg, |worker, pair| {
+            let (node, dev) = worker_map[worker];
+            // Back-pressure: one permit per in-flight job on the target node.
+            handles[node].limiter.acquire();
+            handles[node].submit(pair, dev);
+        });
+
+        // All pairs submitted; wait for every node to drain its jobs.
+        loop {
+            if handles.iter().all(|h| h.counters.is_drained()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let node_reports: Vec<NodeReport> = handles.into_iter().map(|h| h.finish()).collect();
+        let elapsed = start.elapsed();
+        let outputs = Arc::try_unwrap(outputs)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+
+        Ok(RunReport {
+            items: n,
+            outputs,
+            elapsed,
+            nodes: node_reports,
+            steal,
+        })
+    }
+}

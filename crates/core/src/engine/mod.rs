@@ -1,0 +1,8 @@
+//! The threaded execution engine: per-node conductor, resource threads, and
+//! inter-node messages.
+
+pub mod messages;
+pub mod node;
+pub(crate) mod resource;
+
+pub use node::NodeReport;

@@ -1,0 +1,1128 @@
+//! The per-node conductor: Rocket's asynchronous job engine.
+//!
+//! One conductor thread per node owns all scheduling state — the device and
+//! host slot caches, in-flight load pipelines, the distributed-cache
+//! directory — and dispatches stage tasks to the resource threads (§4.3).
+//! Resource threads post completion events back; the conductor advances the
+//! affected job/fill state machines. Because a single thread owns the state,
+//! the cache policy code is the *same synchronous state machine* the
+//! simulator drives, and there are no lock-ordering hazards.
+//!
+//! ## Pipelines (the paper's Fig 2 / Fig 4)
+//!
+//! A job `(i, j)` bound to device `d` acquires read leases on both items in
+//! `d`'s device cache, then: compare kernel (GPU) → result copy (D2H) →
+//! post-process (CPU) → output. A device-cache miss starts a *device fill*:
+//! host-cache hit → H2D copy; host-cache miss → *host fill*: distributed
+//! lookup → remote fetch, or the full load pipeline — read (I/O) → parse
+//! (CPU) → staging upload (H2D) → pre-process (GPU, directly into the device
+//! slot) → write-back (D2H) into the host slot. Items are therefore always
+//! written to both the device and host caches, which is what the level-3
+//! distributed cache relies on.
+//!
+//! ## Deadlock freedom
+//!
+//! Jobs acquire leases in `(left, right)` order and *release everything*
+//! before parking when the cache reports `Busy`, so no job holds-and-waits
+//! on cache capacity. Fill pipelines never wait on jobs. Pool resources
+//! (staging and result buffers) are drained by queues that make progress
+//! whenever a pipeline stage completes.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use rocket_cache::{
+    CacheStats, Directory, DirectoryMsg, DirectoryStats, ItemId, Lookup, Resolution, SlotCache,
+    SlotIdx,
+};
+use rocket_comm::{Endpoint, Wire};
+use rocket_gpu::{BufferId, VirtualDevice};
+use rocket_steal::{JobLimiter, Pair};
+use rocket_storage::ObjectStore;
+use rocket_trace::{Span, TaskKind, ThreadClass, TraceRecorder};
+
+use crate::app::Application;
+use crate::config::RocketConfig;
+use crate::engine::messages::NodeMsg;
+use crate::engine::resource::Resource;
+
+/// Job identifier within one node.
+type JobId = u64;
+
+/// What a parked waiter should do when woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cont {
+    /// Re-attempt lease acquisition for a job.
+    Job(JobId),
+    /// Re-attempt the host-cache acquire of a device fill.
+    DevFill { dev: usize, item: ItemId },
+}
+
+/// Conductor events (posted by resource threads, the comm thread, and
+/// submitters).
+pub(crate) enum Event {
+    /// A new pair job bound to a device.
+    Submit { pair: Pair, dev: usize },
+    /// Storage read finished.
+    IoDone { item: ItemId, result: Result<Bytes, String> },
+    /// CPU parse finished (pre-process path: parsed bytes returned).
+    ParseDone { item: ItemId, result: Result<Vec<u8>, String> },
+    /// CPU parse wrote directly into the host slot (no-pre-process path).
+    ParseIntoHostDone { item: ItemId, result: Result<(), String> },
+    /// Parsed bytes were uploaded to the staging buffer.
+    StagingUploaded { item: ItemId, result: Result<(), String> },
+    /// Pre-process kernel finished (item now in the device slot).
+    PreprocessDone { item: ItemId, result: Result<(), String> },
+    /// Device slot was written back into the host slot.
+    ItemCopiedToHost { item: ItemId, result: Result<(), String> },
+    /// Host slot was copied into the device slot (fill via host hit).
+    DeviceFillCopied { dev: usize, item: ItemId, result: Result<(), String> },
+    /// Comparison kernel finished.
+    CompareDone { job: JobId, result: Result<(), String> },
+    /// Result buffer arrived on the host.
+    ResultCopied { job: JobId, result: Result<Vec<u8>, String> },
+    /// Post-processing delivered the output.
+    PostDone { job: JobId },
+    /// A message from a peer node (with the sender's rank from the
+    /// transport envelope).
+    Remote { from: usize, msg: NodeMsg },
+    /// Stop the conductor (sent after cluster-wide completion).
+    Shutdown,
+}
+
+struct Job {
+    pair: Pair,
+    dev: usize,
+    left: Option<SlotIdx>,
+    right: Option<SlotIdx>,
+    result_buf: Option<BufferId>,
+    /// The item this job last stalled on for capacity. Retries acquire it
+    /// first so the retry consumes the slot freed by our own release —
+    /// guaranteeing progress instead of live-locking on the other item.
+    stalled: Option<ItemId>,
+    /// Set once the compare kernel is scheduled; guards against duplicate
+    /// scheduling from redundant wake-ups.
+    comparing: bool,
+}
+
+struct HostFill {
+    hslot: SlotIdx,
+    origin_dev: usize,
+    staging: Option<BufferId>,
+    parsed: Option<Vec<u8>>,
+}
+
+/// Shared progress counters (read by the cluster driver).
+#[derive(Debug, Default)]
+pub(crate) struct NodeCounters {
+    /// Jobs submitted to this node.
+    pub submitted: AtomicU64,
+    /// Jobs finished (successfully or not).
+    pub done: AtomicU64,
+}
+
+impl NodeCounters {
+    pub(crate) fn is_drained(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.submitted.load(Ordering::Acquire)
+    }
+}
+
+/// Statistics and outcome of one node's run.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// Node rank.
+    pub node: usize,
+    /// Merged per-device cache counters (level 1).
+    pub device_cache: CacheStats,
+    /// Host cache counters (level 2).
+    pub host_cache: CacheStats,
+    /// Distributed-cache lookup counters (level 3).
+    pub directory: DirectoryStats,
+    /// Executions of the load pipeline ℓ on this node.
+    pub loads: u64,
+    /// Items obtained from remote host caches.
+    pub remote_fetches: u64,
+    /// Pairs that failed permanently, with causes.
+    pub failed: Vec<(Pair, String)>,
+    /// Recorded trace spans (empty when tracing is off).
+    pub spans: Vec<Span>,
+}
+
+/// Handle used by the cluster driver to feed and finalize a node.
+pub(crate) struct NodeHandle {
+    pub events: Sender<Event>,
+    pub counters: Arc<NodeCounters>,
+    pub limiter: Arc<JobLimiter>,
+    thread: JoinHandle<NodeReport>,
+    comm_stop: Arc<AtomicBool>,
+    comm_thread: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Submits one pair job bound to a device (caller must hold a limiter
+    /// permit; the conductor releases it at completion).
+    pub fn submit(&self, pair: Pair, dev: usize) {
+        self.counters.submitted.fetch_add(1, Ordering::Release);
+        self.events
+            .send(Event::Submit { pair, dev })
+            .expect("conductor gone");
+    }
+
+    /// Stops the conductor and returns the node report.
+    pub fn finish(self) -> NodeReport {
+        let _ = self.events.send(Event::Shutdown);
+        self.comm_stop.store(true, Ordering::Release);
+        if let Some(h) = self.comm_thread {
+            let _ = h.join();
+        }
+        self.thread.join().expect("conductor panicked")
+    }
+}
+
+/// Spawns a node: conductor thread + resource threads (+ comm thread when an
+/// endpoint is given).
+pub(crate) fn spawn_node<A: Application>(
+    app: Arc<A>,
+    cfg: RocketConfig,
+    node_id: usize,
+    nodes: usize,
+    store: Arc<dyn ObjectStore>,
+    endpoint: Option<Endpoint>,
+    outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+) -> NodeHandle {
+    let (events_tx, events_rx) = unbounded::<Event>();
+    let counters = Arc::new(NodeCounters::default());
+    // Each job pins up to two device-cache slots; capping in-flight jobs at
+    // slots/2 per device guarantees all leases fit simultaneously, which
+    // keeps tiny-cache configurations free of eviction livelock.
+    let lease_cap = (cfg.devices.len() * (cfg.device_cache_slots / 2)).max(1);
+    let limiter = Arc::new(JobLimiter::new(cfg.concurrent_job_limit.min(lease_cap)));
+    let recorder = Arc::new(TraceRecorder::new(cfg.tracing));
+
+    // Comm thread: pumps endpoint messages into the event queue.
+    let comm_stop = Arc::new(AtomicBool::new(false));
+    let comm_thread = endpoint.as_ref().map(|ep| {
+        let rx = ep.receiver();
+        let tx = events_tx.clone();
+        let stop = Arc::clone(&comm_stop);
+        std::thread::Builder::new()
+            .name(format!("rocket-comm-{node_id}"))
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(incoming) => {
+                            let from = incoming.from;
+                            match NodeMsg::from_bytes(incoming.payload) {
+                                Ok(msg) => {
+                                    if tx.send(Event::Remote { from, msg }).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    debug_assert!(false, "undecodable message: {e}");
+                                }
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("failed to spawn comm thread")
+    });
+
+    let handle_events = events_tx.clone();
+    let thread = {
+        let counters = Arc::clone(&counters);
+        let limiter = Arc::clone(&limiter);
+        std::thread::Builder::new()
+            .name(format!("rocket-conductor-{node_id}"))
+            .spawn(move || {
+                let conductor = Conductor::new(
+                    app, cfg, node_id, nodes, store, endpoint, outputs, counters, limiter,
+                    events_rx,
+                    events_tx,
+                    recorder,
+                );
+                conductor.run()
+            })
+            .expect("failed to spawn conductor")
+    };
+
+    NodeHandle {
+        events: handle_events,
+        counters,
+        limiter,
+        thread,
+        comm_stop,
+        comm_thread,
+    }
+}
+
+struct Conductor<A: Application> {
+    app: Arc<A>,
+    cfg: RocketConfig,
+    node_id: usize,
+    nodes: usize,
+    store: Arc<dyn ObjectStore>,
+    endpoint: Option<Endpoint>,
+
+    io: Resource<Event>,
+    cpu: Resource<Event>,
+    gpu: Vec<Resource<Event>>,
+    h2d: Vec<Resource<Event>>,
+    d2h: Vec<Resource<Event>>,
+    devices: Vec<Arc<VirtualDevice>>,
+
+    dev_cache: Vec<SlotCache<Cont>>,
+    dev_slot_bufs: Vec<Vec<BufferId>>,
+    host_cache: SlotCache<Cont>,
+    host_slots: Vec<Arc<Mutex<Vec<u8>>>>,
+
+    staging_pool: Vec<Vec<BufferId>>,
+    staging_queue: Vec<VecDeque<ItemId>>,
+    result_pool: Vec<Vec<BufferId>>,
+    result_queue: Vec<VecDeque<JobId>>,
+
+    jobs: HashMap<JobId, Job>,
+    next_job: JobId,
+    pending_conts: VecDeque<Cont>,
+    host_fills: HashMap<ItemId, HostFill>,
+    dev_fills: HashMap<(usize, ItemId), SlotIdx>,
+    fill_waiters: HashMap<(usize, ItemId), Vec<Cont>>,
+    h2d_leases: HashMap<(usize, ItemId), SlotIdx>,
+    dead_items: HashSet<ItemId>,
+    item_failures: HashMap<ItemId, u32>,
+
+    directory: Directory,
+    loads: u64,
+    remote_fetches: u64,
+    failed: Vec<(Pair, String)>,
+    outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+    counters: Arc<NodeCounters>,
+    limiter: Arc<JobLimiter>,
+    events_rx: Receiver<Event>,
+    #[allow(dead_code)]
+    events_tx: Sender<Event>,
+    recorder: Arc<TraceRecorder>,
+    shutdown: bool,
+}
+
+impl<A: Application> Conductor<A> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        app: Arc<A>,
+        cfg: RocketConfig,
+        node_id: usize,
+        nodes: usize,
+        store: Arc<dyn ObjectStore>,
+        endpoint: Option<Endpoint>,
+        outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+        counters: Arc<NodeCounters>,
+        limiter: Arc<JobLimiter>,
+        events_rx: Receiver<Event>,
+        events_tx: Sender<Event>,
+        recorder: Arc<TraceRecorder>,
+    ) -> Self {
+        let n_dev = cfg.devices.len();
+        let item_bytes = app.item_bytes() as u64;
+        let parsed_bytes = app.parsed_bytes() as u64;
+        let result_bytes = app.result_bytes() as u64;
+        let staging_per_dev = if app.has_preprocess() { 4 } else { 0 };
+        let results_per_dev = cfg.concurrent_job_limit.min(64).max(1);
+
+        let mut devices = Vec::with_capacity(n_dev);
+        let mut dev_cache = Vec::with_capacity(n_dev);
+        let mut dev_slot_bufs = Vec::with_capacity(n_dev);
+        let mut staging_pool = Vec::with_capacity(n_dev);
+        let mut result_pool = Vec::with_capacity(n_dev);
+        for profile in &cfg.devices {
+            // The threaded runtime treats the configured slot count as
+            // authoritative: expand virtual memory if the profile is too
+            // small (the simulator models capacities faithfully instead).
+            let needed = cfg.device_cache_slots as u64 * item_bytes
+                + staging_per_dev as u64 * parsed_bytes
+                + results_per_dev as u64 * result_bytes;
+            let profile = if profile.memory_bytes < needed {
+                profile.clone().with_memory(needed)
+            } else {
+                profile.clone()
+            };
+            let device = Arc::new(VirtualDevice::new(profile));
+            let slots: Vec<BufferId> = (0..cfg.device_cache_slots)
+                .map(|_| device.alloc(item_bytes).expect("device slot alloc"))
+                .collect();
+            let staging: Vec<BufferId> = (0..staging_per_dev)
+                .map(|_| device.alloc(parsed_bytes).expect("staging alloc"))
+                .collect();
+            let results: Vec<BufferId> = (0..results_per_dev)
+                .map(|_| device.alloc(result_bytes).expect("result alloc"))
+                .collect();
+            devices.push(device);
+            dev_cache.push(SlotCache::new(cfg.device_cache_slots));
+            dev_slot_bufs.push(slots);
+            staging_pool.push(staging);
+            result_pool.push(results);
+        }
+
+        let host_slots: Vec<Arc<Mutex<Vec<u8>>>> = (0..cfg.host_cache_slots)
+            .map(|_| Arc::new(Mutex::new(vec![0u8; item_bytes as usize])))
+            .collect();
+
+        let io = Resource::spawn("io", ThreadClass::Io, 0, 1, events_tx.clone(), Arc::clone(&recorder));
+        let cpu = Resource::spawn(
+            "cpu",
+            ThreadClass::Cpu,
+            0,
+            cfg.cpu_threads,
+            events_tx.clone(),
+            Arc::clone(&recorder),
+        );
+        let gpu: Vec<_> = (0..n_dev)
+            .map(|d| {
+                Resource::spawn("gpu", ThreadClass::Gpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+            })
+            .collect();
+        let h2d: Vec<_> = (0..n_dev)
+            .map(|d| {
+                Resource::spawn("h2d", ThreadClass::CpuToGpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+            })
+            .collect();
+        let d2h: Vec<_> = (0..n_dev)
+            .map(|d| {
+                Resource::spawn("d2h", ThreadClass::GpuToCpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+            })
+            .collect();
+
+        let directory = Directory::new(node_id, nodes, cfg.distributed_hops);
+        let staging_queue = vec![VecDeque::new(); n_dev];
+        let result_queue = vec![VecDeque::new(); n_dev];
+
+        Self {
+            app,
+            cfg,
+            node_id,
+            nodes,
+            store,
+            endpoint,
+            io,
+            cpu,
+            gpu,
+            h2d,
+            d2h,
+            devices,
+            dev_cache,
+            dev_slot_bufs,
+            host_cache: SlotCache::new(host_slots.len()),
+            host_slots,
+            staging_pool,
+            staging_queue,
+            result_pool,
+            result_queue,
+            jobs: HashMap::new(),
+            next_job: 0,
+            pending_conts: VecDeque::new(),
+            host_fills: HashMap::new(),
+            dev_fills: HashMap::new(),
+            fill_waiters: HashMap::new(),
+            h2d_leases: HashMap::new(),
+            dead_items: HashSet::new(),
+            item_failures: HashMap::new(),
+            directory,
+            loads: 0,
+            remote_fetches: 0,
+            failed: Vec::new(),
+            outputs,
+            counters,
+            limiter,
+            events_rx,
+            events_tx,
+            recorder,
+            shutdown: false,
+        }
+    }
+
+    fn run(mut self) -> NodeReport {
+        while !self.shutdown {
+            match self.events_rx.recv() {
+                Ok(event) => {
+                    self.handle(event);
+                    self.drain_conts();
+                }
+                Err(_) => break,
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> NodeReport {
+        let mut device_cache = CacheStats::default();
+        for c in &self.dev_cache {
+            device_cache.merge(&c.stats());
+        }
+        let report = NodeReport {
+            node: self.node_id,
+            device_cache,
+            host_cache: self.host_cache.stats(),
+            directory: self.directory.stats().clone(),
+            loads: self.loads,
+            remote_fetches: self.remote_fetches,
+            failed: self.failed,
+            spans: self.recorder.take(),
+        };
+        self.io.shutdown();
+        self.cpu.shutdown();
+        for r in self.gpu {
+            r.shutdown();
+        }
+        for r in self.h2d {
+            r.shutdown();
+        }
+        for r in self.d2h {
+            r.shutdown();
+        }
+        report
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Submit { pair, dev } => self.submit_job(pair, dev),
+            Event::IoDone { item, result } => self.on_io_done(item, result),
+            Event::ParseDone { item, result } => self.on_parse_done(item, result),
+            Event::ParseIntoHostDone { item, result } => match result {
+                Ok(()) => {
+                    self.loads += 1;
+                    self.publish_host(item);
+                }
+                Err(e) => self.item_failure(item, e),
+            },
+            Event::StagingUploaded { item, result } => match result {
+                Ok(()) => self.schedule_preprocess(item),
+                Err(e) => self.item_failure(item, e),
+            },
+            Event::PreprocessDone { item, result } => self.on_preprocess_done(item, result),
+            Event::ItemCopiedToHost { item, result } => match result {
+                Ok(()) => self.publish_host(item),
+                Err(e) => self.item_failure(item, e),
+            },
+            Event::DeviceFillCopied { dev, item, result } => {
+                self.on_device_fill_copied(dev, item, result)
+            }
+            Event::CompareDone { job, result } => self.on_compare_done(job, result),
+            Event::ResultCopied { job, result } => self.on_result_copied(job, result),
+            Event::PostDone { job } => self.finish_job(job),
+            Event::Remote { from, msg } => self.on_remote(from, msg),
+            Event::Shutdown => self.shutdown = true,
+        }
+    }
+
+    // ---- job lifecycle -------------------------------------------------
+
+    fn submit_job(&mut self, pair: Pair, dev: usize) {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                pair,
+                dev,
+                left: None,
+                right: None,
+                result_buf: None,
+                stalled: None,
+                comparing: false,
+            },
+        );
+        self.try_acquire_job(id);
+    }
+
+    fn try_acquire_job(&mut self, id: JobId) {
+        let Some(job) = self.jobs.get(&id) else { return };
+        if job.comparing {
+            return;
+        }
+        let (pair, dev, stalled) = (job.pair, job.dev, job.stalled);
+        if self.dead_items.contains(&pair.left) || self.dead_items.contains(&pair.right) {
+            self.fail_job(id, "depends on an unloadable item".to_string());
+            return;
+        }
+        // Acquire left, then right — except that a retry after a capacity
+        // stall acquires the stalled item first (progress guarantee). On
+        // Busy release everything and park.
+        let mut order = [(0usize, pair.left), (1usize, pair.right)];
+        if stalled == Some(pair.right) {
+            order.swap(0, 1);
+        }
+        for (which, item) in order {
+            let held = {
+                let job = &self.jobs[&id];
+                if which == 0 { job.left } else { job.right }
+            };
+            if held.is_some() {
+                continue;
+            }
+            match self.dev_cache[dev].get(item, || Cont::Job(id)) {
+                Lookup::Hit(slot) => {
+                    let job = self.jobs.get_mut(&id).expect("job exists");
+                    if which == 0 {
+                        job.left = Some(slot);
+                    } else {
+                        job.right = Some(slot);
+                    }
+                }
+                Lookup::Pending => return,
+                Lookup::MustLoad(slot) => {
+                    self.start_dev_fill(dev, item, slot);
+                    self.fill_waiters
+                        .entry((dev, item))
+                        .or_default()
+                        .push(Cont::Job(id));
+                    return;
+                }
+                Lookup::Busy => {
+                    // Deadlock avoidance: never hold-and-wait on capacity.
+                    self.jobs.get_mut(&id).expect("job exists").stalled = Some(item);
+                    self.release_job_leases(id);
+                    return;
+                }
+            }
+        }
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        job.stalled = None;
+        job.comparing = true;
+        self.start_compare(id);
+    }
+
+    fn release_job_leases(&mut self, id: JobId) {
+        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let dev = job.dev;
+        let leases = [job.left.take(), job.right.take()];
+        for slot in leases.into_iter().flatten() {
+            if let Some(cont) = self.dev_cache[dev].release(slot) {
+                self.run_cont(cont);
+            }
+        }
+    }
+
+    fn start_compare(&mut self, id: JobId) {
+        let job = self.jobs.get(&id).expect("job exists");
+        let dev = job.dev;
+        let Some(result_buf) = self.result_pool[dev].pop() else {
+            self.result_queue[dev].push_back(id);
+            return;
+        };
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        job.result_buf = Some(result_buf);
+        let (pair, left, right) = (job.pair, job.left.unwrap(), job.right.unwrap());
+        let left_buf = self.dev_slot_bufs[dev][left];
+        let right_buf = self.dev_slot_bufs[dev][right];
+        let device = Arc::clone(&self.devices[dev]);
+        let app = Arc::clone(&self.app);
+        self.gpu[dev].submit(
+            TaskKind::Compare,
+            id,
+            Box::new(move || {
+                let result = device
+                    .launch(&[left_buf, right_buf], result_buf, |ins, out| {
+                        app.compare((pair.left, ins[0]), (pair.right, ins[1]), out)
+                    })
+                    .map_err(|e| e.to_string())
+                    .and_then(|r| r.map_err(|e| e.to_string()));
+                Some(Event::CompareDone { job: id, result })
+            }),
+        );
+    }
+
+    fn on_compare_done(&mut self, id: JobId, result: Result<(), String>) {
+        match result {
+            Ok(()) => {
+                let job = self.jobs.get(&id).expect("job exists");
+                let (dev, result_buf) = (job.dev, job.result_buf.expect("result buffer"));
+                let result_bytes = self.app.result_bytes();
+                let device = Arc::clone(&self.devices[dev]);
+                self.d2h[dev].submit(
+                    TaskKind::CopyOut,
+                    id,
+                    Box::new(move || {
+                        let mut out = Vec::with_capacity(result_bytes);
+                        let result = device
+                            .copy_d2h(result_buf, &mut out)
+                            .map(|()| out)
+                            .map_err(|e| e.to_string());
+                        Some(Event::ResultCopied { job: id, result })
+                    }),
+                );
+            }
+            Err(e) => self.fail_job(id, format!("compare failed: {e}")),
+        }
+    }
+
+    fn on_result_copied(&mut self, id: JobId, result: Result<Vec<u8>, String>) {
+        // The device-side resources are free as soon as the result is on the
+        // host: release leases and the result buffer before post-processing.
+        self.release_job_leases(id);
+        self.return_result_buf(id);
+        match result {
+            Ok(bytes) => {
+                let job = self.jobs.get(&id).expect("job exists");
+                let pair = job.pair;
+                let app = Arc::clone(&self.app);
+                let outputs = Arc::clone(&self.outputs);
+                self.cpu.submit(
+                    TaskKind::Postprocess,
+                    id,
+                    Box::new(move || {
+                        let out = app.postprocess(pair, &bytes);
+                        outputs.lock().push((pair, out));
+                        Some(Event::PostDone { job: id })
+                    }),
+                );
+            }
+            Err(e) => self.fail_job(id, format!("result copy failed: {e}")),
+        }
+    }
+
+    fn return_result_buf(&mut self, id: JobId) {
+        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let dev = job.dev;
+        if let Some(buf) = job.result_buf.take() {
+            self.result_pool[dev].push(buf);
+            if let Some(waiting) = self.result_queue[dev].pop_front() {
+                self.start_compare(waiting);
+            }
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        self.jobs.remove(&id);
+        self.counters.done.fetch_add(1, Ordering::Release);
+        self.limiter.release();
+    }
+
+    fn fail_job(&mut self, id: JobId, cause: String) {
+        self.release_job_leases(id);
+        self.return_result_buf(id);
+        if let Some(job) = self.jobs.get(&id) {
+            self.failed.push((job.pair, cause));
+        }
+        self.finish_job(id);
+    }
+
+    // ---- device fill ---------------------------------------------------
+
+    fn start_dev_fill(&mut self, dev: usize, item: ItemId, dslot: SlotIdx) {
+        self.dev_fills.insert((dev, item), dslot);
+        self.continue_dev_fill(dev, item);
+    }
+
+    fn continue_dev_fill(&mut self, dev: usize, item: ItemId) {
+        if !self.dev_fills.contains_key(&(dev, item)) {
+            return; // already completed or aborted
+        }
+        // An H2D copy is already filling this slot: a second wake (e.g. a
+        // parked token plus the origin-continuation of `publish_host`)
+        // must not take a second host lease.
+        if self.h2d_leases.contains_key(&(dev, item)) {
+            return;
+        }
+        if self.dead_items.contains(&item) {
+            self.abort_dev_fill(dev, item);
+            return;
+        }
+        match self.host_cache.get(item, || Cont::DevFill { dev, item }) {
+            Lookup::Hit(hslot) => {
+                self.h2d_leases.insert((dev, item), hslot);
+                let dslot = self.dev_fills[&(dev, item)];
+                let dbuf = self.dev_slot_bufs[dev][dslot];
+                let payload = Arc::clone(&self.host_slots[hslot]);
+                let device = Arc::clone(&self.devices[dev]);
+                self.h2d[dev].submit(
+                    TaskKind::CopyIn,
+                    item,
+                    Box::new(move || {
+                        let data = payload.lock();
+                        let result = device.copy_h2d(&data, dbuf).map_err(|e| e.to_string());
+                        Some(Event::DeviceFillCopied { dev, item, result })
+                    }),
+                );
+            }
+            Lookup::Pending => {}
+            Lookup::MustLoad(hslot) => self.start_host_fill(item, hslot, dev),
+            Lookup::Busy => {}
+        }
+    }
+
+    fn on_device_fill_copied(&mut self, dev: usize, item: ItemId, result: Result<(), String>) {
+        if let Some(hslot) = self.h2d_leases.remove(&(dev, item)) {
+            if let Some(cont) = self.host_cache.release(hslot) {
+                self.run_cont(cont);
+            }
+        }
+        match result {
+            Ok(()) => self.complete_dev_fill(dev, item),
+            Err(e) => self.item_failure(item, format!("H2D copy failed: {e}")),
+        }
+    }
+
+    fn complete_dev_fill(&mut self, dev: usize, item: ItemId) {
+        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else { return };
+        let waiters = self.dev_cache[dev].publish(dslot);
+        for w in waiters {
+            self.run_cont(w);
+        }
+        if let Some(ws) = self.fill_waiters.remove(&(dev, item)) {
+            for w in ws {
+                self.run_cont(w);
+            }
+        }
+        // The published slot is evictable until a reader takes it: fresh
+        // capacity, so one parked capacity waiter gets a retry.
+        if let Some(w) = self.dev_cache[dev].pop_capacity_waiter() {
+            self.run_cont(w);
+        }
+    }
+
+    fn abort_dev_fill(&mut self, dev: usize, item: ItemId) {
+        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else { return };
+        let waiters = self.dev_cache[dev].abort(dslot);
+        for w in waiters {
+            self.run_cont(w);
+        }
+        if let Some(ws) = self.fill_waiters.remove(&(dev, item)) {
+            for w in ws {
+                self.run_cont(w);
+            }
+        }
+    }
+
+    // ---- host fill -----------------------------------------------------
+
+    fn start_host_fill(&mut self, item: ItemId, hslot: SlotIdx, origin_dev: usize) {
+        self.host_fills.insert(
+            item,
+            HostFill { hslot, origin_dev, staging: None, parsed: None },
+        );
+        if self.cfg.distributed_cache && self.nodes > 1 {
+            let (to, msg) = self.directory.begin_lookup(item);
+            self.send_to(to, NodeMsg::Dir(msg));
+        } else {
+            self.local_load(item);
+        }
+    }
+
+    fn local_load(&mut self, item: ItemId) {
+        let path = self.app.file_for(item);
+        let store = Arc::clone(&self.store);
+        let retries = self.cfg.io_retries;
+        self.io.submit(
+            TaskKind::Read,
+            item,
+            Box::new(move || {
+                let mut last_err = String::new();
+                for _ in 0..=retries {
+                    match store.read(&path) {
+                        Ok(data) => {
+                            return Some(Event::IoDone { item, result: Ok(data) });
+                        }
+                        Err(e) => last_err = e.to_string(),
+                    }
+                }
+                Some(Event::IoDone { item, result: Err(last_err) })
+            }),
+        );
+    }
+
+    fn on_io_done(&mut self, item: ItemId, result: Result<Bytes, String>) {
+        let raw = match result {
+            Ok(raw) => raw,
+            Err(e) => {
+                self.item_failure(item, format!("storage read failed: {e}"));
+                return;
+            }
+        };
+        let Some(fill) = self.host_fills.get(&item) else { return };
+        let app = Arc::clone(&self.app);
+        if app.has_preprocess() {
+            let parsed_bytes = app.parsed_bytes();
+            self.cpu.submit(
+                TaskKind::Parse,
+                item,
+                Box::new(move || {
+                    let mut parsed = vec![0u8; parsed_bytes];
+                    let result = app
+                        .parse(item, &raw, &mut parsed)
+                        .map(|()| parsed)
+                        .map_err(|e| e.to_string());
+                    Some(Event::ParseDone { item, result })
+                }),
+            );
+        } else {
+            // No GPU pre-processing: parse straight into the host slot.
+            let payload = Arc::clone(&self.host_slots[fill.hslot]);
+            self.cpu.submit(
+                TaskKind::Parse,
+                item,
+                Box::new(move || {
+                    let mut buf = payload.lock();
+                    let result = app.parse(item, &raw, &mut buf).map_err(|e| e.to_string());
+                    Some(Event::ParseIntoHostDone { item, result })
+                }),
+            );
+        }
+    }
+
+    fn on_parse_done(&mut self, item: ItemId, result: Result<Vec<u8>, String>) {
+        match result {
+            Ok(parsed) => {
+                let Some(fill) = self.host_fills.get_mut(&item) else { return };
+                fill.parsed = Some(parsed);
+                self.try_stage(item);
+            }
+            Err(e) => self.item_failure(item, format!("parse failed: {e}")),
+        }
+    }
+
+    /// Uploads parsed bytes to a staging buffer when one is available.
+    fn try_stage(&mut self, item: ItemId) {
+        let Some(fill) = self.host_fills.get_mut(&item) else { return };
+        let dev = fill.origin_dev;
+        let Some(staging) = self.staging_pool[dev].pop() else {
+            self.staging_queue[dev].push_back(item);
+            return;
+        };
+        fill.staging = Some(staging);
+        let parsed = fill.parsed.take().expect("parsed bytes present");
+        let device = Arc::clone(&self.devices[dev]);
+        self.h2d[dev].submit(
+            TaskKind::CopyIn,
+            item,
+            Box::new(move || {
+                let result = device.copy_h2d(&parsed, staging).map_err(|e| e.to_string());
+                Some(Event::StagingUploaded { item, result })
+            }),
+        );
+    }
+
+    fn schedule_preprocess(&mut self, item: ItemId) {
+        let Some(fill) = self.host_fills.get(&item) else { return };
+        let dev = fill.origin_dev;
+        let staging = fill.staging.expect("staging held");
+        let Some(&dslot) = self.dev_fills.get(&(dev, item)) else {
+            // The originating device fill vanished (item died): give the
+            // staging buffer back and drop the pipeline.
+            self.return_staging(dev, item);
+            return;
+        };
+        let dbuf = self.dev_slot_bufs[dev][dslot];
+        let device = Arc::clone(&self.devices[dev]);
+        let app = Arc::clone(&self.app);
+        self.gpu[dev].submit(
+            TaskKind::Preprocess,
+            item,
+            Box::new(move || {
+                let result = device
+                    .launch(&[staging], dbuf, |ins, out| app.preprocess(item, ins[0], out))
+                    .map_err(|e| e.to_string())
+                    .and_then(|r| r.map_err(|e| e.to_string()));
+                Some(Event::PreprocessDone { item, result })
+            }),
+        );
+    }
+
+    fn return_staging(&mut self, dev: usize, item: ItemId) {
+        if let Some(fill) = self.host_fills.get_mut(&item) {
+            if let Some(staging) = fill.staging.take() {
+                self.staging_pool[dev].push(staging);
+                if let Some(next) = self.staging_queue[dev].pop_front() {
+                    self.try_stage(next);
+                }
+            }
+        }
+    }
+
+    fn on_preprocess_done(&mut self, item: ItemId, result: Result<(), String>) {
+        let Some(fill) = self.host_fills.get(&item) else { return };
+        let dev = fill.origin_dev;
+        self.return_staging(dev, item);
+        match result {
+            Ok(()) => {
+                self.loads += 1;
+                // The item is ready on the device: publish the device slot
+                // first (jobs can start comparing), then write it back to
+                // the host slot (Fig 4's "copy device slot to host slot").
+                let Some(&dslot) = self.dev_fills.get(&(dev, item)) else { return };
+                let dbuf = self.dev_slot_bufs[dev][dslot];
+                self.complete_dev_fill(dev, item);
+                let fill = self.host_fills.get(&item).expect("host fill present");
+                let payload = Arc::clone(&self.host_slots[fill.hslot]);
+                let device = Arc::clone(&self.devices[dev]);
+                self.d2h[dev].submit(
+                    TaskKind::CopyOut,
+                    item,
+                    Box::new(move || {
+                        let mut tmp = Vec::new();
+                        let result = device
+                            .copy_d2h(dbuf, &mut tmp)
+                            .map(|()| {
+                                let mut buf = payload.lock();
+                                let n = buf.len().min(tmp.len());
+                                buf[..n].copy_from_slice(&tmp[..n]);
+                            })
+                            .map_err(|e| e.to_string());
+                        Some(Event::ItemCopiedToHost { item, result })
+                    }),
+                );
+            }
+            Err(e) => self.item_failure(item, format!("preprocess failed: {e}")),
+        }
+    }
+
+    fn publish_host(&mut self, item: ItemId) {
+        let Some(fill) = self.host_fills.remove(&item) else { return };
+        let waiters = self.host_cache.publish(fill.hslot);
+        for w in waiters {
+            self.run_cont(w);
+        }
+        // Fresh capacity (see complete_dev_fill): retry one parked waiter.
+        if let Some(w) = self.host_cache.pop_capacity_waiter() {
+            self.run_cont(w);
+        }
+        // The originating device fill continues if it still needs the host
+        // copy (no-pre-process and remote-fetch paths).
+        if self.dev_fills.contains_key(&(fill.origin_dev, item)) {
+            self.continue_dev_fill(fill.origin_dev, item);
+        }
+    }
+
+    fn item_failure(&mut self, item: ItemId, cause: String) {
+        let failures = self.item_failures.entry(item).or_insert(0);
+        *failures += 1;
+        if *failures < self.cfg.max_item_failures {
+            // Transient: restart the load pipeline from storage.
+            if let Some(fill) = self.host_fills.get(&item) {
+                let dev = fill.origin_dev;
+                self.return_staging(dev, item);
+                self.local_load(item);
+            }
+            return;
+        }
+        // Permanent: poison the item so dependent jobs fail fast.
+        self.dead_items.insert(item);
+        if let Some(fill) = self.host_fills.remove(&item) {
+            self.return_staging_direct(fill.origin_dev, fill.staging);
+            let waiters = self.host_cache.abort(fill.hslot);
+            for w in waiters {
+                self.run_cont(w);
+            }
+            self.abort_dev_fill(fill.origin_dev, item);
+        }
+        let _ = cause;
+    }
+
+    fn return_staging_direct(&mut self, dev: usize, staging: Option<BufferId>) {
+        if let Some(s) = staging {
+            self.staging_pool[dev].push(s);
+            if let Some(next) = self.staging_queue[dev].pop_front() {
+                self.try_stage(next);
+            }
+        }
+    }
+
+    // ---- distributed cache ----------------------------------------------
+
+    fn send_to(&mut self, to: usize, msg: NodeMsg) {
+        let ep = self.endpoint.as_ref().expect("endpoint for multi-node run");
+        ep.send(to, msg.to_bytes()).expect("peer gone");
+    }
+
+    fn on_remote(&mut self, from: usize, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Dir(dir_msg) => {
+                let lookup_item = match &dir_msg {
+                    DirectoryMsg::Found { item, .. } | DirectoryMsg::NotFound { item } => {
+                        Some(*item)
+                    }
+                    _ => None,
+                };
+                let host_cache = &self.host_cache;
+                let (outgoing, resolution) =
+                    self.directory.handle(dir_msg, |i| host_cache.contains_ready(i));
+                for (to, m) in outgoing {
+                    self.send_to(to, NodeMsg::Dir(m));
+                }
+                match resolution {
+                    Resolution::InFlight => {}
+                    Resolution::Found { holder, .. } => {
+                        let item = lookup_item.expect("found carries item");
+                        if self.host_fills.contains_key(&item) {
+                            self.send_to(holder, NodeMsg::Fetch { item });
+                        }
+                    }
+                    Resolution::LoadLocally => {
+                        let item = lookup_item.expect("not-found carries item");
+                        if self.host_fills.contains_key(&item) {
+                            self.local_load(item);
+                        }
+                    }
+                }
+            }
+            NodeMsg::Fetch { item } => {
+                // Serve from the host cache if (still) resident; the lease
+                // pins the slot while we copy the bytes out. A miss replies
+                // `None` — the protocol is best effort and the requester
+                // falls back to loading locally.
+                let data = match self.host_cache.try_read(item) {
+                    Some(hslot) => {
+                        let data = Bytes::from(self.host_slots[hslot].lock().clone());
+                        if let Some(cont) = self.host_cache.release(hslot) {
+                            self.run_cont(cont);
+                        }
+                        Some(data)
+                    }
+                    None => None,
+                };
+                self.send_to(from, NodeMsg::FetchReply { item, data });
+            }
+            NodeMsg::FetchReply { item, data } => match data {
+                Some(data) => {
+                    if let Some(fill) = self.host_fills.get(&item) {
+                        {
+                            let mut buf = self.host_slots[fill.hslot].lock();
+                            let n = buf.len().min(data.len());
+                            buf[..n].copy_from_slice(&data[..n]);
+                        }
+                        self.remote_fetches += 1;
+                        self.publish_host(item);
+                    }
+                }
+                None => {
+                    if self.host_fills.contains_key(&item) {
+                        self.local_load(item);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Queues a continuation. Continuations are drained iteratively after
+    /// each event — recursing here would overflow the stack on long waiter
+    /// chains (wake → release → wake → …).
+    fn run_cont(&mut self, cont: Cont) {
+        self.pending_conts.push_back(cont);
+    }
+
+    fn drain_conts(&mut self) {
+        while let Some(cont) = self.pending_conts.pop_front() {
+            match cont {
+                Cont::Job(id) => self.try_acquire_job(id),
+                Cont::DevFill { dev, item } => self.continue_dev_fill(dev, item),
+            }
+        }
+    }
+}

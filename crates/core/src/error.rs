@@ -1,0 +1,109 @@
+//! Error types of the Rocket runtime.
+
+use std::fmt;
+
+use rocket_cache::ItemId;
+use rocket_gpu::DeviceError;
+use rocket_storage::StorageError;
+
+/// Errors raised by user-defined application stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppError {
+    /// Which stage failed.
+    pub stage: &'static str,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl AppError {
+    /// Creates an application-stage error.
+    pub fn new(stage: &'static str, message: impl Into<String>) -> Self {
+        Self { stage, message: message.into() }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "application {} stage failed: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// Runtime-level errors.
+#[derive(Debug)]
+pub enum RocketError {
+    /// Loading an item failed permanently (storage or parse errors beyond
+    /// the retry budget).
+    LoadFailed {
+        /// The item that could not be loaded.
+        item: ItemId,
+        /// The final underlying cause.
+        cause: String,
+    },
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// A device operation failed.
+    Device(DeviceError),
+    /// An application stage failed.
+    App(AppError),
+    /// The runtime configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for RocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RocketError::LoadFailed { item, cause } => {
+                write!(f, "loading item {item} failed permanently: {cause}")
+            }
+            RocketError::Storage(e) => write!(f, "storage error: {e}"),
+            RocketError::Device(e) => write!(f, "device error: {e}"),
+            RocketError::App(e) => write!(f, "{e}"),
+            RocketError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RocketError {}
+
+impl From<StorageError> for RocketError {
+    fn from(e: StorageError) -> Self {
+        RocketError::Storage(e)
+    }
+}
+
+impl From<DeviceError> for RocketError {
+    fn from(e: DeviceError) -> Self {
+        RocketError::Device(e)
+    }
+}
+
+impl From<AppError> for RocketError {
+    fn from(e: AppError) -> Self {
+        RocketError::App(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = AppError::new("parse", "bad magic");
+        assert_eq!(e.to_string(), "application parse stage failed: bad magic");
+        let r: RocketError = e.into();
+        assert!(r.to_string().contains("parse"));
+        let l = RocketError::LoadFailed { item: 3, cause: "io".into() };
+        assert!(l.to_string().contains("item 3"));
+    }
+
+    #[test]
+    fn conversions() {
+        let s: RocketError = StorageError::NotFound("x".into()).into();
+        assert!(matches!(s, RocketError::Storage(_)));
+        let c = RocketError::Config("no devices".into());
+        assert!(c.to_string().contains("no devices"));
+    }
+}

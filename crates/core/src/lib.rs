@@ -1,0 +1,74 @@
+//! The Rocket all-pairs framework (§3–§4 of the paper).
+//!
+//! Rocket executes a user-defined pairwise function over every pair of a
+//! data set on (virtual) GPU platforms. Users implement the
+//! [`Application`] trait — parse (CPU), pre-process (GPU), compare (GPU),
+//! post-process (CPU) — and call [`Rocket::run`]; the runtime handles
+//! network communication, data transfers, memory management, scheduling,
+//! data reuse, load balancing, and overlapping computation with I/O.
+//!
+//! ```
+//! use rocket_core::{Application, AppError, Rocket, RocketConfig};
+//! use rocket_core::Pair;
+//! use rocket_storage::MemStore;
+//! use std::sync::Arc;
+//!
+//! /// Sums byte values and compares totals — a toy distance function.
+//! struct ByteSum;
+//!
+//! impl Application for ByteSum {
+//!     type Output = i64;
+//!     fn name(&self) -> &str { "bytesum" }
+//!     fn item_count(&self) -> u64 { 4 }
+//!     fn file_for(&self, item: u64) -> String { format!("{item}.bin") }
+//!     fn parsed_bytes(&self) -> usize { 8 }
+//!     fn item_bytes(&self) -> usize { 8 }
+//!     fn result_bytes(&self) -> usize { 8 }
+//!     fn has_preprocess(&self) -> bool { false }
+//!     fn parse(&self, _item: u64, raw: &[u8], out: &mut [u8]) -> Result<(), AppError> {
+//!         let sum: i64 = raw.iter().map(|&b| b as i64).sum();
+//!         out[..8].copy_from_slice(&sum.to_le_bytes());
+//!         Ok(())
+//!     }
+//!     fn compare(&self, left: (u64, &[u8]), right: (u64, &[u8]), out: &mut [u8])
+//!         -> Result<(), AppError>
+//!     {
+//!         let l = i64::from_le_bytes(left.1[..8].try_into().unwrap());
+//!         let r = i64::from_le_bytes(right.1[..8].try_into().unwrap());
+//!         out[..8].copy_from_slice(&(l - r).to_le_bytes());
+//!         Ok(())
+//!     }
+//!     fn postprocess(&self, _pair: Pair, raw: &[u8]) -> i64 {
+//!         i64::from_le_bytes(raw[..8].try_into().unwrap())
+//!     }
+//! }
+//!
+//! let store = MemStore::from_iter((0..4).map(|i| (format!("{i}.bin"), vec![i as u8; 10])));
+//! let config = RocketConfig::builder()
+//!     .devices(1)
+//!     .device_cache_slots(4)
+//!     .host_cache_slots(8)
+//!     .concurrent_job_limit(4)
+//!     .build();
+//! let report = Rocket::new(config).run(Arc::new(ByteSum), Arc::new(store)).unwrap();
+//! assert_eq!(report.outputs.len(), 6); // C(4,2) pairs
+//! assert!(report.failed().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod cluster;
+pub mod config;
+pub mod engine;
+pub mod error;
+
+pub use app::{bytesutil, Application};
+pub use cluster::{Rocket, RunReport};
+pub use config::{ConfigSummary, RocketConfig, RocketConfigBuilder};
+pub use engine::NodeReport;
+pub use error::{AppError, RocketError};
+
+// Re-export the types users need at the API boundary.
+pub use rocket_cache::ItemId;
+pub use rocket_steal::Pair;

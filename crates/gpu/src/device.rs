@@ -1,0 +1,435 @@
+//! The virtual device: capacity-accounted buffers plus per-engine bookkeeping.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::profile::DeviceProfile;
+
+/// Handle to a device-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+/// Device operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed device memory capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+    /// The buffer handle is not live on this device.
+    InvalidBuffer(BufferId),
+    /// Source data does not fit in the destination buffer.
+    SizeMismatch {
+        /// Destination capacity in bytes.
+        dst: u64,
+        /// Source length in bytes.
+        src: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, free {free} B")
+            }
+            DeviceError::InvalidBuffer(id) => write!(f, "invalid device buffer {id:?}"),
+            DeviceError::SizeMismatch { dst, src } => {
+                write!(f, "copy size mismatch: dst {dst} B, src {src} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Result alias for device operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// The three independent engines of a device (§4.3: Rocket runs one thread
+/// per engine so kernels and both copy directions overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Kernel execution engine.
+    Compute,
+    /// Host-to-device copy engine.
+    H2d,
+    /// Device-to-host copy engine.
+    D2h,
+}
+
+#[derive(Default)]
+struct MemState {
+    buffers: HashMap<u64, Arc<RwLock<Box<[u8]>>>>,
+    used: u64,
+    next_id: u64,
+}
+
+/// A virtual GPU: device memory with a hard capacity, buffer storage backed
+/// by host memory, and per-engine busy-time accounting.
+///
+/// Thread-safe; buffer contents use per-buffer `RwLock`s so a kernel reading
+/// two item buffers and writing a result buffer holds exactly the locks it
+/// needs (mirroring CUDA's requirement that a buffer not be freed while a
+/// kernel uses it).
+pub struct VirtualDevice {
+    profile: DeviceProfile,
+    mem: Mutex<MemState>,
+    busy_ns: [AtomicU64; 3],
+    ops: [AtomicU64; 3],
+}
+
+impl VirtualDevice {
+    /// Creates a device with the given profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self {
+            profile,
+            mem: Mutex::new(MemState::default()),
+            busy_ns: Default::default(),
+            ops: Default::default(),
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.mem.lock().used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.profile.memory_bytes
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes() - self.used_bytes()
+    }
+
+    /// Number of live buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.mem.lock().buffers.len()
+    }
+
+    /// Allocates a zero-initialized buffer of `size` bytes.
+    pub fn alloc(&self, size: u64) -> Result<BufferId> {
+        let mut mem = self.mem.lock();
+        let free = self.profile.memory_bytes - mem.used;
+        if size > free {
+            return Err(DeviceError::OutOfMemory { requested: size, free });
+        }
+        let id = mem.next_id;
+        mem.next_id += 1;
+        mem.used += size;
+        mem.buffers.insert(
+            id,
+            Arc::new(RwLock::new(vec![0u8; size as usize].into_boxed_slice())),
+        );
+        Ok(BufferId(id))
+    }
+
+    /// Frees a buffer. Blocks until no kernel or copy is using it.
+    pub fn free(&self, id: BufferId) -> Result<()> {
+        let arc = {
+            let mut mem = self.mem.lock();
+            let arc = mem
+                .buffers
+                .remove(&id.0)
+                .ok_or(DeviceError::InvalidBuffer(id))?;
+            mem.used -= arc.read().len() as u64;
+            arc
+        };
+        // Wait for in-flight users: taking the write lock serializes with them.
+        drop(arc.write());
+        Ok(())
+    }
+
+    fn buffer(&self, id: BufferId) -> Result<Arc<RwLock<Box<[u8]>>>> {
+        self.mem
+            .lock()
+            .buffers
+            .get(&id.0)
+            .cloned()
+            .ok_or(DeviceError::InvalidBuffer(id))
+    }
+
+    /// Size of a live buffer.
+    pub fn buffer_size(&self, id: BufferId) -> Result<u64> {
+        Ok(self.buffer(id)?.read().len() as u64)
+    }
+
+    fn engine_index(kind: EngineKind) -> usize {
+        match kind {
+            EngineKind::Compute => 0,
+            EngineKind::H2d => 1,
+            EngineKind::D2h => 2,
+        }
+    }
+
+    fn account(&self, kind: EngineKind, ns: u64) {
+        let i = Self::engine_index(kind);
+        self.busy_ns[i].fetch_add(ns, Ordering::Relaxed);
+        self.ops[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulated busy nanoseconds of an engine (wall-clock in the threaded
+    /// runtime; the simulator does its own accounting).
+    pub fn engine_busy_ns(&self, kind: EngineKind) -> u64 {
+        self.busy_ns[Self::engine_index(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Number of operations executed on an engine.
+    pub fn engine_ops(&self, kind: EngineKind) -> u64 {
+        self.ops[Self::engine_index(kind)].load(Ordering::Relaxed)
+    }
+
+    /// Copies host data into a device buffer (H2D engine).
+    pub fn copy_h2d(&self, src: &[u8], dst: BufferId) -> Result<()> {
+        let buf = self.buffer(dst)?;
+        let t0 = std::time::Instant::now();
+        {
+            let mut guard = buf.write();
+            if guard.len() < src.len() {
+                return Err(DeviceError::SizeMismatch {
+                    dst: guard.len() as u64,
+                    src: src.len() as u64,
+                });
+            }
+            guard[..src.len()].copy_from_slice(src);
+        }
+        self.account(EngineKind::H2d, t0.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Copies a device buffer back to host memory (D2H engine), returning the
+    /// full buffer contents.
+    pub fn copy_d2h(&self, src: BufferId, dst: &mut Vec<u8>) -> Result<()> {
+        let buf = self.buffer(src)?;
+        let t0 = std::time::Instant::now();
+        {
+            let guard = buf.read();
+            dst.clear();
+            dst.extend_from_slice(&guard);
+        }
+        self.account(EngineKind::D2h, t0.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Copies between two device buffers (device-to-device, charged to the
+    /// compute engine like CUDA's default-stream `cudaMemcpyDtoD`).
+    pub fn copy_d2d(&self, src: BufferId, dst: BufferId) -> Result<()> {
+        if src == dst {
+            return Ok(());
+        }
+        let sbuf = self.buffer(src)?;
+        let dbuf = self.buffer(dst)?;
+        let t0 = std::time::Instant::now();
+        {
+            let s = sbuf.read();
+            let mut d = dbuf.write();
+            if d.len() < s.len() {
+                return Err(DeviceError::SizeMismatch {
+                    dst: d.len() as u64,
+                    src: s.len() as u64,
+                });
+            }
+            d[..s.len()].copy_from_slice(&s);
+        }
+        self.account(EngineKind::Compute, t0.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Launches a kernel: `f` receives read-only views of `inputs` and a
+    /// mutable view of `output`, all resident in device memory.
+    ///
+    /// `output` must not appear in `inputs` (that would deadlock, exactly as
+    /// aliased buffers are undefined on a real device — here it is detected).
+    pub fn launch<R>(
+        &self,
+        inputs: &[BufferId],
+        output: BufferId,
+        f: impl FnOnce(&[&[u8]], &mut [u8]) -> R,
+    ) -> Result<R> {
+        if inputs.contains(&output) {
+            return Err(DeviceError::InvalidBuffer(output));
+        }
+        let in_arcs: Vec<_> = inputs
+            .iter()
+            .map(|&id| self.buffer(id))
+            .collect::<Result<_>>()?;
+        let out_arc = self.buffer(output)?;
+        let t0 = std::time::Instant::now();
+        let result = {
+            let in_guards: Vec<_> = in_arcs.iter().map(|a| a.read()).collect();
+            let in_slices: Vec<&[u8]> = in_guards.iter().map(|g| &g[..]).collect();
+            let mut out_guard = out_arc.write();
+            f(&in_slices, &mut out_guard)
+        };
+        self.account(EngineKind::Compute, t0.elapsed().as_nanos() as u64);
+        Ok(result)
+    }
+}
+
+impl fmt::Debug for VirtualDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualDevice")
+            .field("profile", &self.profile.name)
+            .field("used", &self.used_bytes())
+            .field("capacity", &self.capacity_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> VirtualDevice {
+        VirtualDevice::new(DeviceProfile::test_tiny())
+    }
+
+    #[test]
+    fn alloc_accounts_capacity() {
+        let d = tiny();
+        let a = d.alloc(400_000).unwrap();
+        assert_eq!(d.used_bytes(), 400_000);
+        assert_eq!(d.free_bytes(), 600_000);
+        d.free(a).unwrap();
+        assert_eq!(d.used_bytes(), 0);
+        assert_eq!(d.buffer_count(), 0);
+    }
+
+    #[test]
+    fn oom_when_capacity_exceeded() {
+        let d = tiny();
+        let _a = d.alloc(900_000).unwrap();
+        match d.alloc(200_000) {
+            Err(DeviceError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 200_000);
+                assert_eq!(free, 100_000);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_invalid_buffer_errors() {
+        let d = tiny();
+        let a = d.alloc(10).unwrap();
+        d.free(a).unwrap();
+        assert!(matches!(d.free(a), Err(DeviceError::InvalidBuffer(_))));
+    }
+
+    #[test]
+    fn h2d_d2h_roundtrip() {
+        let d = tiny();
+        let b = d.alloc(8).unwrap();
+        d.copy_h2d(&[1, 2, 3, 4, 5, 6, 7, 8], b).unwrap();
+        let mut out = Vec::new();
+        d.copy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(d.engine_ops(EngineKind::H2d), 1);
+        assert_eq!(d.engine_ops(EngineKind::D2h), 1);
+    }
+
+    #[test]
+    fn h2d_size_mismatch() {
+        let d = tiny();
+        let b = d.alloc(4).unwrap();
+        assert!(matches!(
+            d.copy_h2d(&[0u8; 8], b),
+            Err(DeviceError::SizeMismatch { dst: 4, src: 8 })
+        ));
+    }
+
+    #[test]
+    fn kernel_reads_inputs_writes_output() {
+        let d = tiny();
+        let x = d.alloc(4).unwrap();
+        let y = d.alloc(4).unwrap();
+        let out = d.alloc(4).unwrap();
+        d.copy_h2d(&[1, 2, 3, 4], x).unwrap();
+        d.copy_h2d(&[10, 20, 30, 40], y).unwrap();
+        let sum = d
+            .launch(&[x, y], out, |inputs, output| {
+                let mut total = 0u32;
+                for i in 0..4 {
+                    output[i] = inputs[0][i] + inputs[1][i];
+                    total += output[i] as u32;
+                }
+                total
+            })
+            .unwrap();
+        assert_eq!(sum, 11 + 22 + 33 + 44);
+        let mut host = Vec::new();
+        d.copy_d2h(out, &mut host).unwrap();
+        assert_eq!(host, vec![11, 22, 33, 44]);
+        assert_eq!(d.engine_ops(EngineKind::Compute), 1);
+    }
+
+    #[test]
+    fn kernel_rejects_aliased_output() {
+        let d = tiny();
+        let x = d.alloc(4).unwrap();
+        assert!(d.launch(&[x], x, |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn d2d_copy() {
+        let d = tiny();
+        let a = d.alloc(4).unwrap();
+        let b = d.alloc(4).unwrap();
+        d.copy_h2d(&[9, 9, 9, 9], a).unwrap();
+        d.copy_d2d(a, b).unwrap();
+        let mut out = Vec::new();
+        d.copy_d2h(b, &mut out).unwrap();
+        assert_eq!(out, vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn engine_busy_time_accumulates() {
+        let d = tiny();
+        let b = d.alloc(1000).unwrap();
+        for _ in 0..10 {
+            d.copy_h2d(&[0u8; 1000], b).unwrap();
+        }
+        assert_eq!(d.engine_ops(EngineKind::H2d), 10);
+        // busy_ns is wall-clock and may be tiny, but must be recorded.
+        assert!(d.engine_busy_ns(EngineKind::H2d) > 0 || cfg!(miri));
+    }
+
+    #[test]
+    fn concurrent_kernels_on_distinct_buffers() {
+        let d = Arc::new(tiny());
+        let bufs: Vec<_> = (0..4).map(|_| d.alloc(16).unwrap()).collect();
+        let outs: Vec<_> = (0..4).map(|_| d.alloc(16).unwrap()).collect();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let d = Arc::clone(&d);
+            let (inp, out) = (bufs[i], outs[i]);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    d.launch(&[inp], out, |ins, o| {
+                        o[0] = ins[0][0].wrapping_add(1);
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.engine_ops(EngineKind::Compute), 200);
+    }
+}

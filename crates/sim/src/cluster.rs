@@ -1,0 +1,1246 @@
+//! The simulated Rocket cluster.
+//!
+//! Drives the *same policy code* as the threaded runtime — the
+//! [`SlotCache`] WRITE/READ state machine, the candidates-array
+//! [`Directory`], and the quadrant [`TaskDeque`] — but advances virtual
+//! time through resource servers instead of real threads, which makes
+//! 96-GPU experiments deterministic and laptop-fast. Stage durations are
+//! sampled from a [`WorkloadProfile`] (Table 1 / Fig 7 of the paper);
+//! transfer and I/O times come from device profiles and the storage /
+//! network model.
+//!
+//! The job and fill state machines mirror `rocket-core`'s conductor
+//! one-to-one (acquire-left-then-right with release-on-busy, device fill →
+//! host fill → distributed lookup → load pipeline), so simulator results
+//! are explanatory for the real runtime.
+
+use std::collections::{HashMap, VecDeque};
+
+use rocket_apps::WorkloadProfile;
+use rocket_cache::{
+    CacheStats, Directory, DirectoryMsg, DirectoryStats, Lookup, Resolution, SlotCache, SlotIdx,
+};
+use rocket_gpu::DeviceProfile;
+use rocket_stats::{Dist, Distribution, Xoshiro256};
+use rocket_steal::{Block, Pair, TaskDeque};
+use rocket_trace::ThroughputSeries;
+
+use crate::engine::{ns_to_secs, secs_to_ns, EventQueue, SimTime};
+use crate::server::{Engine, Pool};
+
+/// Configuration of one simulated node.
+#[derive(Debug, Clone)]
+pub struct SimNodeConfig {
+    /// The GPUs of this node.
+    pub gpus: Vec<DeviceProfile>,
+    /// Device-cache slots per GPU.
+    pub device_slots: usize,
+    /// Host-cache slots for the node.
+    pub host_slots: usize,
+}
+
+impl SimNodeConfig {
+    /// `gpus` identical baseline GPUs with the given cache sizes.
+    pub fn uniform(gpus: usize, device_slots: usize, host_slots: usize) -> Self {
+        Self {
+            gpus: (0..gpus).map(|_| DeviceProfile::titanx_maxwell()).collect(),
+            device_slots,
+            host_slots,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The workload (items, sizes, stage-time distributions).
+    pub workload: WorkloadProfile,
+    /// One entry per node.
+    pub nodes: Vec<SimNodeConfig>,
+    /// Level-3 distributed cache on/off (Fig 12 compares both).
+    pub distributed_cache: bool,
+    /// Maximum lookup hops `h`.
+    pub hops: usize,
+    /// Concurrent job limit per node.
+    pub job_limit: usize,
+    /// CPU pool size per node.
+    pub cpu_threads: usize,
+    /// Pairs per leaf task.
+    pub leaf_pairs: u64,
+    /// Central storage bandwidth, bytes/second (shared by all nodes).
+    pub storage_bandwidth: f64,
+    /// Per-request storage latency, seconds.
+    pub storage_latency: f64,
+    /// Inter-node network bandwidth per NIC, bytes/second.
+    pub net_bandwidth: f64,
+    /// One-way network message latency, seconds.
+    pub net_latency: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record per-GPU completion timestamps (Fig 14).
+    pub record_completions: bool,
+}
+
+impl SimConfig {
+    /// A single-node configuration with paper-style defaults: DAS-5-like
+    /// storage (InfiniBand MinIO) and network.
+    pub fn single_node(workload: WorkloadProfile, node: SimNodeConfig) -> Self {
+        Self::cluster(workload, vec![node])
+    }
+
+    /// A multi-node configuration with paper-style defaults.
+    pub fn cluster(workload: WorkloadProfile, nodes: Vec<SimNodeConfig>) -> Self {
+        Self {
+            workload,
+            nodes,
+            distributed_cache: true,
+            hops: 1,
+            job_limit: 64,
+            cpu_threads: 16,
+            leaf_pairs: 64,
+            storage_bandwidth: 1.2e9, // ~10 Gb/s effective object store
+            storage_latency: 2e-3,
+            net_bandwidth: 7.0e9, // 56 Gb/s InfiniBand FDR
+            net_latency: 20e-6,
+            seed: 0x9E3779B97F4A7C15,
+            record_completions: false,
+        }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.gpus.len()).sum()
+    }
+
+    /// All device profiles, flattened (for the performance model).
+    pub fn all_gpus(&self) -> Vec<DeviceProfile> {
+        self.nodes.iter().flat_map(|n| n.gpus.iter().cloned()).collect()
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Virtual run time, seconds.
+    pub makespan: f64,
+    /// Items in the data set.
+    pub items: u64,
+    /// Pairs processed.
+    pub pairs: u64,
+    /// Executions of the load pipeline cluster-wide.
+    pub loads: u64,
+    /// Items fetched from remote host caches.
+    pub remote_fetches: u64,
+    /// Bytes read from central storage.
+    pub io_bytes: u64,
+    /// Bytes moved between nodes (item fetches).
+    pub net_bytes: u64,
+    /// Work-steal count (blocks moved between nodes).
+    pub steals: u64,
+    /// Busy seconds: GPU pre-processing.
+    pub busy_preprocess: f64,
+    /// Busy seconds: GPU comparisons.
+    pub busy_compare: f64,
+    /// Busy seconds: H2D copy engines.
+    pub busy_h2d: f64,
+    /// Busy seconds: D2H copy engines.
+    pub busy_d2h: f64,
+    /// Busy seconds: CPU pools.
+    pub busy_cpu: f64,
+    /// Busy seconds: storage pipe.
+    pub busy_io: f64,
+    /// Merged device-cache counters.
+    pub device_cache: CacheStats,
+    /// Merged host-cache counters.
+    pub host_cache: CacheStats,
+    /// Merged distributed-lookup counters (Fig 11).
+    pub directory: DirectoryStats,
+    /// Pairs completed per node.
+    pub pairs_per_node: Vec<u64>,
+    /// Per-GPU completion timestamps (only when recorded; Fig 14).
+    pub completions: Option<ThroughputSeries>,
+}
+
+impl SimResult {
+    /// The paper's R metric.
+    pub fn r_factor(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.items as f64
+        }
+    }
+
+    /// Average I/O usage in MB/s (Fig 12 bottom row).
+    pub fn avg_io_mbps(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.io_bytes as f64 / 1e6 / self.makespan
+        }
+    }
+
+    /// Average throughput in pairs/second (Fig 13's metric).
+    pub fn throughput(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.makespan
+        }
+    }
+}
+
+/// Waiter token: which state machine to resume on wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Job(u64),
+    DevFill { gpu: usize, item: u64 },
+}
+
+#[derive(Debug)]
+struct SimJob {
+    pair: Pair,
+    gpu: usize,
+    left: Option<SlotIdx>,
+    right: Option<SlotIdx>,
+    /// The item this job last stalled on (capacity). Retries acquire it
+    /// first: the retry then consumes the slot freed by our own release,
+    /// guaranteeing progress instead of live-locking on the other item.
+    stalled: Option<u64>,
+    /// Set once the compare kernel is scheduled; guards against duplicate
+    /// scheduling from redundant wake-ups.
+    comparing: bool,
+}
+
+#[derive(Debug)]
+struct SimGpu {
+    profile: DeviceProfile,
+    cache: SlotCache<Tok>,
+    compute: Engine,
+    h2d: Engine,
+    d2h: Engine,
+    in_flight: usize,
+    pre_busy_ns: u64,
+    cmp_busy_ns: u64,
+}
+
+struct SimNode {
+    deque: TaskDeque,
+    pending: VecDeque<Pair>,
+    gpus: Vec<SimGpu>,
+    host_cache: SlotCache<Tok>,
+    cpu: Pool,
+    nic: Engine,
+    directory: Directory,
+    jobs: HashMap<u64, SimJob>,
+    jobs_in_flight: usize,
+    host_fills: HashMap<u64, usize>, // item -> origin gpu
+    host_fill_slot: HashMap<u64, SlotIdx>,
+    dev_fills: HashMap<(usize, u64), SlotIdx>,
+    fill_waiters: HashMap<(usize, u64), Vec<Tok>>,
+    h2d_leases: HashMap<(usize, u64), SlotIdx>,
+    pairs_done: u64,
+    loads: u64,
+    remote_fetches: u64,
+    retry_pending: bool,
+}
+
+#[derive(Debug)]
+enum Msg {
+    Dir(DirectoryMsg),
+    Fetch { item: u64, requester: usize },
+    FetchReply { item: u64, ok: bool },
+}
+
+#[derive(Debug)]
+enum Ev {
+    Pull { node: usize },
+    IoDone { node: usize, item: u64 },
+    ParseDone { node: usize, item: u64 },
+    StagingDone { node: usize, gpu: usize, item: u64 },
+    PreprocessDone { node: usize, gpu: usize, item: u64 },
+    WritebackDone { node: usize, item: u64 },
+    FillCopyDone { node: usize, gpu: usize, item: u64 },
+    CompareDone { node: usize, job: u64 },
+    ResultDone { node: usize, job: u64 },
+    PostDone { node: usize, job: u64 },
+    Net { to: usize, from: usize, msg: Msg },
+    StealRetry { node: usize },
+}
+
+/// Runs one simulation to completion.
+pub fn simulate(config: &SimConfig) -> SimResult {
+    Sim::new(config).run()
+}
+
+struct Sim<'a> {
+    cfg: &'a SimConfig,
+    queue: EventQueue<Ev>,
+    nodes: Vec<SimNode>,
+    storage: Engine,
+    rng: Xoshiro256,
+    next_job: u64,
+    wakes: VecDeque<(usize, Tok)>,
+    total_pairs: u64,
+    pairs_started: u64,
+    pairs_done: u64,
+    io_bytes: u64,
+    net_bytes: u64,
+    steals: u64,
+    makespan_ns: SimTime,
+    ev_counts: [u64; 12],
+    completions: Option<ThroughputSeries>,
+    gpu_gid_base: Vec<usize>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        assert!(!cfg.nodes.is_empty(), "cluster needs nodes");
+        let n = cfg.workload.items;
+        let p = cfg.nodes.len();
+        let mut gpu_gid_base = Vec::with_capacity(p);
+        let mut base = 0usize;
+        let nodes: Vec<SimNode> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(rank, nc)| {
+                gpu_gid_base.push(base);
+                base += nc.gpus.len();
+                // Slots beyond the item count never get used: clamp to keep
+                // huge Fig 9 sweeps cheap without changing behaviour.
+                let dev_slots = nc.device_slots.min(n as usize).max(2);
+                let host_slots = nc.host_slots.min(n as usize).max(2);
+                SimNode {
+                    deque: TaskDeque::new(),
+                    pending: VecDeque::new(),
+                    gpus: nc
+                        .gpus
+                        .iter()
+                        .map(|profile| SimGpu {
+                            profile: profile.clone(),
+                            cache: SlotCache::new(dev_slots),
+                            compute: Engine::new(),
+                            h2d: Engine::new(),
+                            d2h: Engine::new(),
+                            in_flight: 0,
+                            pre_busy_ns: 0,
+                            cmp_busy_ns: 0,
+                        })
+                        .collect(),
+                    host_cache: SlotCache::new(host_slots),
+                    cpu: Pool::new(cfg.cpu_threads),
+                    nic: Engine::new(),
+                    directory: Directory::new(rank, p, cfg.hops),
+                    jobs: HashMap::new(),
+                    jobs_in_flight: 0,
+                    host_fills: HashMap::new(),
+                    host_fill_slot: HashMap::new(),
+                    dev_fills: HashMap::new(),
+                    fill_waiters: HashMap::new(),
+                    h2d_leases: HashMap::new(),
+                    pairs_done: 0,
+                    loads: 0,
+                    remote_fetches: 0,
+                    retry_pending: false,
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            queue: EventQueue::new(),
+            nodes,
+            storage: Engine::new(),
+            rng: Xoshiro256::seed_from(cfg.seed),
+            next_job: 0,
+            wakes: VecDeque::new(),
+            total_pairs: n * n.saturating_sub(1) / 2,
+            pairs_started: 0,
+            pairs_done: 0,
+            io_bytes: 0,
+            net_bytes: 0,
+            steals: 0,
+            makespan_ns: 0,
+            ev_counts: [0; 12],
+            completions: cfg.record_completions.then(ThroughputSeries::new),
+            gpu_gid_base,
+        }
+    }
+
+    fn sample_ns(&mut self, dist: &Dist) -> u64 {
+        secs_to_ns(dist.sample(&mut self.rng))
+    }
+
+    fn run(mut self) -> SimResult {
+        // The master node spawns the root task (§4.2).
+        if self.total_pairs > 0 {
+            self.nodes[0].deque.push(Block::root(self.cfg.workload.items));
+        }
+        for node in 0..self.nodes.len() {
+            self.queue.schedule_at(0, Ev::Pull { node });
+        }
+        let mut last_progress = (0u64, 0u64); // (pairs_done, virtual ns)
+        while self.pairs_done < self.total_pairs {
+            // Steal retries keep the queue non-empty forever, so a stuck
+            // cluster shows up as virtual time racing ahead without pair
+            // completions — treat an hour of virtual silence as a deadlock.
+            if self.pairs_done != last_progress.0 {
+                last_progress = (self.pairs_done, self.queue.now());
+            } else if self.queue.now() > last_progress.1 + 300_000_000_000 {
+                self.stall_panic("no progress for 5min of virtual time");
+            }
+            let Some((_, ev)) = self.queue.pop() else {
+                self.stall_panic("event queue drained");
+            };
+            self.handle(ev);
+            self.drain_wakes();
+            #[cfg(debug_assertions)]
+            self.validate();
+        }
+        self.finish()
+    }
+
+    /// Debug-build cross-check: every device-cache read lease is owned by
+    /// exactly one job lease, every host lease by one in-flight H2D copy.
+    #[cfg(debug_assertions)]
+    fn validate(&self) {
+        use std::collections::HashMap as Map;
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let mut dev_readers: Vec<Map<SlotIdx, u32>> =
+                (0..node.gpus.len()).map(|_| Map::new()).collect();
+            for job in node.jobs.values() {
+                for slot in [job.left, job.right].into_iter().flatten() {
+                    *dev_readers[job.gpu].entry(slot).or_insert(0) += 1;
+                }
+            }
+            for (g, gpu) in node.gpus.iter().enumerate() {
+                for slot in 0..gpu.cache.capacity() {
+                    let expected = dev_readers[g].get(&slot).copied().unwrap_or(0);
+                    assert_eq!(
+                        gpu.cache.readers(slot),
+                        expected,
+                        "node {ni} gpu {g} slot {slot}: reader-count leak"
+                    );
+                }
+                gpu.cache.check_invariants().expect("device cache invariants");
+            }
+            let mut host_readers: Map<SlotIdx, u32> = Map::new();
+            for &hslot in node.h2d_leases.values() {
+                *host_readers.entry(hslot).or_insert(0) += 1;
+            }
+            for slot in 0..node.host_cache.capacity() {
+                let expected = host_readers.get(&slot).copied().unwrap_or(0);
+                assert_eq!(
+                    node.host_cache.readers(slot),
+                    expected,
+                    "node {ni} host slot {slot}: reader-count leak"
+                );
+            }
+            node.host_cache.check_invariants().expect("host cache invariants");
+        }
+    }
+
+    fn stall_panic(&self, why: &str) -> ! {
+        let mut diag = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            diag.push_str(&format!(
+                "\n node {i}: jobs={} inflight={} pending={} deque={} hostfills={} devfills={} \
+                 h2d_leases={} host(cap_waiters={} evictable={} occ={}/{})",
+                node.jobs.len(),
+                node.jobs_in_flight,
+                node.pending.len(),
+                node.deque.len(),
+                node.host_fills.len(),
+                node.dev_fills.len(),
+                node.h2d_leases.len(),
+                node.host_cache.parked_capacity_waiters(),
+                node.host_cache.evictable(),
+                node.host_cache.occupied(),
+                node.host_cache.capacity(),
+            ));
+            for (g, gpu) in node.gpus.iter().enumerate() {
+                diag.push_str(&format!(
+                    "\n   gpu {g}: inflight={} cap_waiters={} evictable={} occ={}/{} resident={:?}",
+                    gpu.in_flight,
+                    gpu.cache.parked_capacity_waiters(),
+                    gpu.cache.evictable(),
+                    gpu.cache.occupied(),
+                    gpu.cache.capacity(),
+                    gpu.cache.resident_items(),
+                ));
+            }
+            if i == 0 {
+                let mut ids: Vec<_> = node.jobs.keys().copied().collect();
+                ids.sort_unstable();
+                for id in ids {
+                    let j = &node.jobs[&id];
+                    diag.push_str(&format!(
+                        "\n   job {id}: pair=({},{}) left={:?} right={:?} stalled={:?} comparing={}",
+                        j.pair.left, j.pair.right, j.left, j.right, j.stalled, j.comparing
+                    ));
+                }
+                diag.push_str(&format!(
+                    "\n   dev_fills={:?} fill_waiter_keys={:?}",
+                    node.dev_fills.keys().collect::<Vec<_>>(),
+                    node.fill_waiters.keys().collect::<Vec<_>>()
+                ));
+            }
+        }
+        panic!(
+            "simulation stalled ({why}): {}/{} pairs done (started {}){diag}\n              event counts [pull,io,parse,staging,pre,writeback,fillcopy,cmp,res,post,net,steal]: {:?}\n              queue len {}",
+            self.pairs_done,
+            self.total_pairs,
+            self.pairs_started,
+            self.ev_counts,
+            self.queue.len(),
+        );
+    }
+
+    fn finish(self) -> SimResult {
+        let mut r = SimResult {
+            makespan: ns_to_secs(self.makespan_ns),
+            items: self.cfg.workload.items,
+            pairs: self.pairs_done,
+            loads: self.nodes.iter().map(|n| n.loads).sum(),
+            remote_fetches: self.nodes.iter().map(|n| n.remote_fetches).sum(),
+            io_bytes: self.io_bytes,
+            net_bytes: self.net_bytes,
+            steals: self.steals,
+            busy_preprocess: 0.0,
+            busy_compare: 0.0,
+            busy_h2d: 0.0,
+            busy_d2h: 0.0,
+            busy_cpu: 0.0,
+            busy_io: ns_to_secs(self.storage.busy_ns()),
+            device_cache: CacheStats::default(),
+            host_cache: CacheStats::default(),
+            directory: DirectoryStats::default(),
+            pairs_per_node: self.nodes.iter().map(|n| n.pairs_done).collect(),
+            completions: self.completions,
+        };
+        for node in &self.nodes {
+            r.busy_cpu += ns_to_secs(node.cpu.busy_ns());
+            r.host_cache.merge(&node.host_cache.stats());
+            r.directory.merge(node.directory.stats());
+            for gpu in &node.gpus {
+                r.busy_preprocess += ns_to_secs(gpu.pre_busy_ns);
+                r.busy_compare += ns_to_secs(gpu.cmp_busy_ns);
+                r.busy_h2d += ns_to_secs(gpu.h2d.busy_ns());
+                r.busy_d2h += ns_to_secs(gpu.d2h.busy_ns());
+                r.device_cache.merge(&gpu.cache.stats());
+            }
+        }
+        r
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        let idx = match &ev {
+            Ev::Pull { .. } => 0,
+            Ev::IoDone { .. } => 1,
+            Ev::ParseDone { .. } => 2,
+            Ev::StagingDone { .. } => 3,
+            Ev::PreprocessDone { .. } => 4,
+            Ev::WritebackDone { .. } => 5,
+            Ev::FillCopyDone { .. } => 6,
+            Ev::CompareDone { .. } => 7,
+            Ev::ResultDone { .. } => 8,
+            Ev::PostDone { .. } => 9,
+            Ev::Net { .. } => 10,
+            Ev::StealRetry { .. } => 11,
+        };
+        self.ev_counts[idx] += 1;
+        match ev {
+            Ev::Pull { node } => self.pull_work(node),
+            Ev::IoDone { node, item } => self.on_io_done(node, item),
+            Ev::ParseDone { node, item } => self.on_parse_done(node, item),
+            Ev::StagingDone { node, gpu, item } => self.schedule_preprocess(node, gpu, item),
+            Ev::PreprocessDone { node, gpu, item } => self.on_preprocess_done(node, gpu, item),
+            Ev::WritebackDone { node, item } => self.publish_host(node, item),
+            Ev::FillCopyDone { node, gpu, item } => self.on_fill_copy_done(node, gpu, item),
+            Ev::CompareDone { node, job } => self.on_compare_done(node, job),
+            Ev::ResultDone { node, job } => self.on_result_done(node, job),
+            Ev::PostDone { node, job } => self.on_post_done(node, job),
+            Ev::Net { to, from, msg } => self.on_net(to, from, msg),
+            Ev::StealRetry { node } => {
+                self.nodes[node].retry_pending = false;
+                self.pull_work(node);
+            }
+        }
+    }
+
+    // ---- work acquisition ------------------------------------------------
+
+    /// Per-GPU in-flight cap: each job pins up to two device slots, so
+    /// keeping jobs ≤ slots/2 per GPU guarantees every in-flight job's
+    /// leases fit simultaneously — the counting argument that makes the
+    /// pipeline deadlock- and livelock-free even for tiny caches. (The
+    /// paper relies on generous slot counts for the same property; see
+    /// §4.1.1's note that waiting on WRITE slots is unproblematic "because
+    /// Rocket ensures that a sufficient number of concurrent jobs are in
+    /// progress".)
+    fn gpu_cap(&self, node: usize, gpu: usize) -> usize {
+        (self.nodes[node].gpus[gpu].cache.capacity() / 2).max(1)
+    }
+
+    fn has_gpu_slack(&self, node: usize) -> bool {
+        (0..self.nodes[node].gpus.len())
+            .any(|g| self.nodes[node].gpus[g].in_flight < self.gpu_cap(node, g))
+    }
+
+    fn pull_work(&mut self, node: usize) {
+        loop {
+            if self.nodes[node].jobs_in_flight >= self.cfg.job_limit
+                || !self.has_gpu_slack(node)
+            {
+                return;
+            }
+            if let Some(pair) = self.next_pair(node) {
+                self.start_job(node, pair);
+            } else {
+                // No work reachable right now; retry while undone pairs may
+                // still show up in stealable form.
+                if self.pairs_started < self.total_pairs && !self.nodes[node].retry_pending {
+                    self.nodes[node].retry_pending = true;
+                    self.queue.schedule_in(secs_to_ns(500e-6), Ev::StealRetry { node });
+                }
+                return;
+            }
+        }
+    }
+
+    fn next_pair(&mut self, node: usize) -> Option<Pair> {
+        loop {
+            if let Some(pair) = self.nodes[node].pending.pop_front() {
+                return Some(pair);
+            }
+            // Depth-first descent into the quadrant tree.
+            if let Some(block) = self.nodes[node].deque.pop() {
+                if block.count() <= self.cfg.leaf_pairs {
+                    self.nodes[node].pending.extend(block.pairs());
+                } else {
+                    for child in block.split() {
+                        self.nodes[node].deque.push(child);
+                    }
+                }
+                continue;
+            }
+            // Steal the highest-level block from a random busy peer.
+            let victims: Vec<usize> = (0..self.nodes.len())
+                .filter(|&v| v != node && !self.nodes[v].deque.is_empty())
+                .collect();
+            if victims.is_empty() {
+                return None;
+            }
+            let victim = *self.rng.pick(&victims);
+            let block = self.nodes[victim].deque.steal().expect("victim non-empty");
+            self.steals += 1;
+            self.nodes[node].deque.push(block);
+        }
+    }
+
+    fn start_job(&mut self, node: usize, pair: Pair) {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.pairs_started += 1;
+        // Bind to the least-loaded GPU of the node (per-GPU workers) that
+        // still has lease headroom.
+        let gpu = (0..self.nodes[node].gpus.len())
+            .filter(|&g| self.nodes[node].gpus[g].in_flight < self.gpu_cap(node, g))
+            .min_by_key(|&g| self.nodes[node].gpus[g].in_flight)
+            .expect("caller checked gpu slack");
+        self.nodes[node].gpus[gpu].in_flight += 1;
+        self.nodes[node].jobs_in_flight += 1;
+        self.nodes[node]
+            .jobs
+            .insert(id, SimJob { pair, gpu, left: None, right: None, stalled: None, comparing: false });
+        self.try_acquire(node, id);
+    }
+
+    // ---- job lease acquisition (mirrors the threaded conductor) ----------
+
+    fn try_acquire(&mut self, node: usize, id: u64) {
+        let Some(job) = self.nodes[node].jobs.get(&id) else { return };
+        if job.comparing {
+            return;
+        }
+        let (pair, gpu, stalled) = (job.pair, job.gpu, job.stalled);
+        // Acquire the previously stalled item first (see `SimJob::stalled`).
+        let mut order = [(0usize, pair.left), (1usize, pair.right)];
+        if stalled == Some(pair.right) {
+            order.swap(0, 1);
+        }
+        for (which, item) in order {
+            let held = {
+                let job = &self.nodes[node].jobs[&id];
+                if which == 0 { job.left } else { job.right }
+            };
+            if held.is_some() {
+                continue;
+            }
+            match self.nodes[node].gpus[gpu].cache.get(item, || Tok::Job(id)) {
+                Lookup::Hit(slot) => {
+                    let job = self.nodes[node].jobs.get_mut(&id).expect("job");
+                    if which == 0 {
+                        job.left = Some(slot);
+                    } else {
+                        job.right = Some(slot);
+                    }
+                }
+                Lookup::Pending => return,
+                Lookup::MustLoad(slot) => {
+                    self.nodes[node].dev_fills.insert((gpu, item), slot);
+                    self.nodes[node]
+                        .fill_waiters
+                        .entry((gpu, item))
+                        .or_default()
+                        .push(Tok::Job(id));
+                    self.continue_dev_fill(node, gpu, item);
+                    return;
+                }
+                Lookup::Busy => {
+                    self.nodes[node].jobs.get_mut(&id).expect("job").stalled = Some(item);
+                    self.release_leases(node, id);
+                    return;
+                }
+            }
+        }
+        let job = self.nodes[node].jobs.get_mut(&id).expect("job");
+        job.stalled = None;
+        job.comparing = true;
+        self.schedule_compare(node, id);
+    }
+
+    fn release_leases(&mut self, node: usize, id: u64) {
+        let Some(job) = self.nodes[node].jobs.get_mut(&id) else { return };
+        let gpu = job.gpu;
+        let leases = [job.left.take(), job.right.take()];
+        for slot in leases.into_iter().flatten() {
+            if let Some(tok) = self.nodes[node].gpus[gpu].cache.release(slot) {
+                self.wake(node, tok);
+            }
+        }
+    }
+
+    /// Queues a wake-up. Wakes are drained iteratively after each event:
+    /// recursion here would overflow the stack on long waiter chains.
+    fn wake(&mut self, node: usize, tok: Tok) {
+        self.wakes.push_back((node, tok));
+    }
+
+    fn drain_wakes(&mut self) {
+        while let Some((node, tok)) = self.wakes.pop_front() {
+            match tok {
+                Tok::Job(id) => self.try_acquire(node, id),
+                Tok::DevFill { gpu, item } => self.continue_dev_fill(node, gpu, item),
+            }
+        }
+    }
+
+    // ---- compare / result / post ------------------------------------------
+
+    fn schedule_compare(&mut self, node: usize, id: u64) {
+        let job = &self.nodes[node].jobs[&id];
+        let gpu = job.gpu;
+        let scale = self.nodes[node].gpus[gpu].profile.compute_scale;
+        let base = self.sample_ns(&self.cfg.workload.compare.clone());
+        let dur = (base as f64 / scale) as u64;
+        let now = self.queue.now();
+        let g = &mut self.nodes[node].gpus[gpu];
+        let done = g.compute.submit(now, dur);
+        g.cmp_busy_ns += dur;
+        self.queue.schedule_at(done, Ev::CompareDone { node, job: id });
+    }
+
+    fn on_compare_done(&mut self, node: usize, id: u64) {
+        // Leases can be dropped as soon as the kernel finishes.
+        self.release_leases(node, id);
+        let gpu = self.nodes[node].jobs[&id].gpu;
+        let dur = self.transfer_ns(self.cfg.workload.item_bytes.min(1024), |p| {
+            p.d2h_bytes_per_sec
+        }, node, gpu);
+        let now = self.queue.now();
+        let done = self.nodes[node].gpus[gpu].d2h.submit(now, dur);
+        self.queue.schedule_at(done, Ev::ResultDone { node, job: id });
+    }
+
+    fn on_result_done(&mut self, node: usize, id: u64) {
+        let dur = self.sample_ns(&self.cfg.workload.postprocess.clone());
+        let now = self.queue.now();
+        let done = self.nodes[node].cpu.submit(now, dur);
+        self.queue.schedule_at(done, Ev::PostDone { node, job: id });
+    }
+
+    fn on_post_done(&mut self, node: usize, id: u64) {
+        let job = self.nodes[node].jobs.remove(&id).expect("job");
+        self.nodes[node].gpus[job.gpu].in_flight -= 1;
+        self.nodes[node].jobs_in_flight -= 1;
+        self.nodes[node].pairs_done += 1;
+        self.pairs_done += 1;
+        let now = self.queue.now();
+        self.makespan_ns = self.makespan_ns.max(now);
+        if let Some(series) = &mut self.completions {
+            let gid = self.gpu_gid_base[node] + job.gpu;
+            series.record(gid as u32, now);
+        }
+        self.pull_work(node);
+    }
+
+    // ---- device fill -------------------------------------------------------
+
+    fn transfer_ns(
+        &self,
+        bytes: u64,
+        bw: impl Fn(&DeviceProfile) -> f64,
+        node: usize,
+        gpu: usize,
+    ) -> u64 {
+        let rate = bw(&self.nodes[node].gpus[gpu].profile);
+        secs_to_ns(bytes as f64 / rate)
+    }
+
+    fn continue_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
+        if !self.nodes[node].dev_fills.contains_key(&(gpu, item)) {
+            return;
+        }
+        // An H2D copy is already filling this slot: a second wake (e.g. a
+        // parked token plus the origin-continuation of `publish_host`)
+        // must not take a second host lease.
+        if self.nodes[node].h2d_leases.contains_key(&(gpu, item)) {
+            return;
+        }
+        match self.nodes[node]
+            .host_cache
+            .get(item, || Tok::DevFill { gpu, item })
+        {
+            Lookup::Hit(hslot) => {
+                self.nodes[node].h2d_leases.insert((gpu, item), hslot);
+                let dur = self.transfer_ns(
+                    self.cfg.workload.item_bytes,
+                    |p| p.h2d_bytes_per_sec,
+                    node,
+                    gpu,
+                );
+                let now = self.queue.now();
+                let done = self.nodes[node].gpus[gpu].h2d.submit(now, dur);
+                self.queue.schedule_at(done, Ev::FillCopyDone { node, gpu, item });
+            }
+            Lookup::Pending | Lookup::Busy => {}
+            Lookup::MustLoad(hslot) => {
+                self.nodes[node].host_fills.insert(item, gpu);
+                self.nodes[node].host_fill_slot.insert(item, hslot);
+                if self.cfg.distributed_cache && self.nodes.len() > 1 {
+                    let (to, msg) = self.nodes[node].directory.begin_lookup(item);
+                    self.send(node, to, Msg::Dir(msg));
+                } else {
+                    self.local_load(node, item);
+                }
+            }
+        }
+    }
+
+    fn on_fill_copy_done(&mut self, node: usize, gpu: usize, item: u64) {
+        if let Some(hslot) = self.nodes[node].h2d_leases.remove(&(gpu, item)) {
+            if let Some(tok) = self.nodes[node].host_cache.release(hslot) {
+                self.wake(node, tok);
+            }
+        }
+        self.complete_dev_fill(node, gpu, item);
+    }
+
+    fn complete_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
+        let Some(dslot) = self.nodes[node].dev_fills.remove(&(gpu, item)) else {
+            return;
+        };
+        let waiters = self.nodes[node].gpus[gpu].cache.publish(dslot);
+        for w in waiters {
+            self.wake(node, w);
+        }
+        if let Some(ws) = self.nodes[node].fill_waiters.remove(&(gpu, item)) {
+            for w in ws {
+                self.wake(node, w);
+            }
+        }
+        // The published slot is evictable until a reader takes it: that is
+        // fresh capacity, so a parked capacity waiter must get a retry.
+        if let Some(w) = self.nodes[node].gpus[gpu].cache.pop_capacity_waiter() {
+            self.wake(node, w);
+        }
+    }
+
+    // ---- host fill / load pipeline ------------------------------------------
+
+    fn local_load(&mut self, node: usize, item: u64) {
+        let bytes = self.cfg.workload.file_bytes;
+        self.io_bytes += bytes;
+        let service = secs_to_ns(bytes as f64 / self.cfg.storage_bandwidth);
+        let latency = secs_to_ns(self.cfg.storage_latency);
+        let now = self.queue.now();
+        let done = self.storage.submit(now, service) + latency;
+        self.queue.schedule_at(done, Ev::IoDone { node, item });
+    }
+
+    fn on_io_done(&mut self, node: usize, item: u64) {
+        let dur = self.sample_ns(&self.cfg.workload.parse.clone());
+        let now = self.queue.now();
+        let done = self.nodes[node].cpu.submit(now, dur);
+        self.queue.schedule_at(done, Ev::ParseDone { node, item });
+    }
+
+    fn on_parse_done(&mut self, node: usize, item: u64) {
+        let Some(&gpu) = self.nodes[node].host_fills.get(&item) else { return };
+        if self.cfg.workload.preprocess.is_some() {
+            // Stage parsed bytes to the device, pre-process there, write the
+            // item back to the host slot (Fig 4's ℓ path).
+            let dur =
+                self.transfer_ns(self.cfg.workload.item_bytes, |p| p.h2d_bytes_per_sec, node, gpu);
+            let now = self.queue.now();
+            let done = self.nodes[node].gpus[gpu].h2d.submit(now, dur);
+            self.queue.schedule_at(done, Ev::StagingDone { node, gpu, item });
+        } else {
+            // No GPU pre-processing: the parsed bytes are the item.
+            self.nodes[node].loads += 1;
+            self.publish_host(node, item);
+        }
+    }
+
+    fn schedule_preprocess(&mut self, node: usize, gpu: usize, item: u64) {
+        let dist = self.cfg.workload.preprocess.clone().expect("preprocess stage");
+        let base = self.sample_ns(&dist);
+        let scale = self.nodes[node].gpus[gpu].profile.compute_scale;
+        let dur = (base as f64 / scale) as u64;
+        let now = self.queue.now();
+        let g = &mut self.nodes[node].gpus[gpu];
+        let done = g.compute.submit(now, dur);
+        g.pre_busy_ns += dur;
+        self.queue.schedule_at(done, Ev::PreprocessDone { node, gpu, item });
+    }
+
+    fn on_preprocess_done(&mut self, node: usize, gpu: usize, item: u64) {
+        self.nodes[node].loads += 1;
+        // Publish the device slot first (jobs can compare immediately), then
+        // write back to the host slot.
+        self.complete_dev_fill(node, gpu, item);
+        let dur =
+            self.transfer_ns(self.cfg.workload.item_bytes, |p| p.d2h_bytes_per_sec, node, gpu);
+        let now = self.queue.now();
+        let done = self.nodes[node].gpus[gpu].d2h.submit(now, dur);
+        self.queue.schedule_at(done, Ev::WritebackDone { node, item });
+    }
+
+    fn publish_host(&mut self, node: usize, item: u64) {
+        let Some(origin_gpu) = self.nodes[node].host_fills.remove(&item) else {
+            return;
+        };
+        let hslot = self.nodes[node]
+            .host_fill_slot
+            .remove(&item)
+            .expect("host fill slot");
+        let waiters = self.nodes[node].host_cache.publish(hslot);
+        for w in waiters {
+            self.wake(node, w);
+        }
+        // Fresh capacity (see complete_dev_fill): retry one parked waiter.
+        if let Some(w) = self.nodes[node].host_cache.pop_capacity_waiter() {
+            self.wake(node, w);
+        }
+        if self.nodes[node].dev_fills.contains_key(&(origin_gpu, item)) {
+            self.continue_dev_fill(node, origin_gpu, item);
+        }
+    }
+
+    // ---- distributed cache ----------------------------------------------------
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg) {
+        let latency = secs_to_ns(self.cfg.net_latency);
+        self.queue.schedule_in(latency, Ev::Net { to, from, msg });
+    }
+
+    fn on_net(&mut self, to: usize, from: usize, msg: Msg) {
+        match msg {
+            Msg::Dir(dir_msg) => {
+                let lookup_item = match &dir_msg {
+                    DirectoryMsg::Found { item, .. } | DirectoryMsg::NotFound { item } => {
+                        Some(*item)
+                    }
+                    _ => None,
+                };
+                let node = &mut self.nodes[to];
+                let host_cache = &node.host_cache;
+                let (outgoing, resolution) = node
+                    .directory
+                    .handle(dir_msg, |i| host_cache.contains_ready(i));
+                for (peer, m) in outgoing {
+                    self.send(to, peer, Msg::Dir(m));
+                }
+                match resolution {
+                    Resolution::InFlight => {}
+                    Resolution::Found { holder, .. } => {
+                        let item = lookup_item.expect("found carries item");
+                        if self.nodes[to].host_fills.contains_key(&item) {
+                            self.send(to, holder, Msg::Fetch { item, requester: to });
+                        }
+                    }
+                    Resolution::LoadLocally => {
+                        let item = lookup_item.expect("not-found carries item");
+                        if self.nodes[to].host_fills.contains_key(&item) {
+                            self.local_load(to, item);
+                        }
+                    }
+                }
+            }
+            Msg::Fetch { item, requester } => {
+                // Serve from the host cache if still resident; transfer
+                // occupies this node's NIC.
+                let served = self.nodes[to].host_cache.try_read(item);
+                match served {
+                    Some(hslot) => {
+                        if let Some(tok) = self.nodes[to].host_cache.release(hslot) {
+                            self.wake(to, tok);
+                        }
+                        let bytes = self.cfg.workload.item_bytes;
+                        self.net_bytes += bytes;
+                        let dur = secs_to_ns(bytes as f64 / self.cfg.net_bandwidth);
+                        let now = self.queue.now();
+                        let done =
+                            self.nodes[to].nic.submit(now, dur) + secs_to_ns(self.cfg.net_latency);
+                        self.queue.schedule_at(
+                            done,
+                            Ev::Net {
+                                to: requester,
+                                from: to,
+                                msg: Msg::FetchReply { item, ok: true },
+                            },
+                        );
+                    }
+                    None => {
+                        self.send(to, requester, Msg::FetchReply { item, ok: false });
+                    }
+                }
+            }
+            Msg::FetchReply { item, ok } => {
+                let _ = from;
+                if !self.nodes[to].host_fills.contains_key(&item) {
+                    return;
+                }
+                if ok {
+                    self.nodes[to].remote_fetches += 1;
+                    self.publish_host(to, item);
+                } else {
+                    self.local_load(to, item);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocket_stats::Dist;
+
+    /// A tiny regular workload with constant service times for exact math.
+    fn toy_workload(items: u64) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "toy",
+            items,
+            file_bytes: 1_000_000,
+            item_bytes: 10_000_000,
+            parse: Dist::Constant(10e-3),
+            preprocess: Some(Dist::Constant(5e-3)),
+            compare: Dist::Constant(1e-3),
+            postprocess: Dist::Constant(0.0),
+            paper_device_slots: 8,
+            paper_host_slots: 16,
+        }
+    }
+
+    fn toy_config(items: u64, nodes: usize, slots: usize) -> SimConfig {
+        let node = SimNodeConfig::uniform(1, slots, slots * 2);
+        SimConfig::cluster(toy_workload(items), vec![node; nodes])
+    }
+
+    #[test]
+    fn all_pairs_complete() {
+        let cfg = toy_config(20, 1, 32);
+        let r = simulate(&cfg);
+        assert_eq!(r.pairs, 190);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn perfect_cache_gives_r_one() {
+        // Slots >= items on one node: every item loads exactly once.
+        let cfg = toy_config(16, 1, 64);
+        let r = simulate(&cfg);
+        assert_eq!(r.loads, 16);
+        assert!((r.r_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_close_to_model_when_r_is_one() {
+        use crate::model;
+        let cfg = toy_config(24, 1, 64);
+        let r = simulate(&cfg);
+        let tmin = model::t_min(&cfg.workload);
+        // Asynchronous overlap should put the makespan within ~15% of the
+        // GPU-bound lower bound.
+        assert!(
+            r.makespan < tmin * 1.15 && r.makespan >= tmin * 0.99,
+            "makespan {} vs tmin {tmin}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn small_cache_increases_r() {
+        let big = simulate(&toy_config(32, 1, 64));
+        let small = simulate(&toy_config(32, 1, 4));
+        assert!(small.loads > big.loads, "{} vs {}", small.loads, big.loads);
+        assert!(small.r_factor() > 1.5);
+        assert!(small.makespan > big.makespan);
+    }
+
+    #[test]
+    fn multi_node_splits_work() {
+        let r = simulate(&toy_config(32, 4, 32));
+        assert_eq!(r.pairs, 32 * 31 / 2);
+        let active = r.pairs_per_node.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 3, "pairs per node: {:?}", r.pairs_per_node);
+        assert!(r.steals > 0);
+    }
+
+    #[test]
+    fn distributed_cache_reduces_loads() {
+        let mut with = toy_config(32, 4, 8);
+        with.distributed_cache = true;
+        let mut without = with.clone();
+        without.distributed_cache = false;
+        let rw = simulate(&with);
+        let ro = simulate(&without);
+        assert!(
+            rw.loads < ro.loads,
+            "distributed cache must reduce loads: {} vs {}",
+            rw.loads,
+            ro.loads
+        );
+        assert!(rw.remote_fetches > 0);
+        assert_eq!(ro.remote_fetches, 0);
+        assert!(rw.io_bytes < ro.io_bytes);
+    }
+
+    #[test]
+    fn speedup_with_more_nodes() {
+        // Large enough that comparisons dominate over the fixed load cost;
+        // tiny instances genuinely do not scale (quadratic work, linear
+        // loads — the paper's premise).
+        let mut c1 = toy_config(64, 1, 64);
+        c1.leaf_pairs = 16;
+        let mut c4 = toy_config(64, 4, 64);
+        c4.leaf_pairs = 16;
+        let t1 = simulate(&c1).makespan;
+        let t4 = simulate(&c4).makespan;
+        let speedup = t1 / t4;
+        assert!(speedup > 3.0, "4-node speedup only {speedup:.2}");
+    }
+
+    #[test]
+    fn faster_gpu_does_more_pairs() {
+        let w = toy_workload(24);
+        let nodes = vec![
+            SimNodeConfig {
+                gpus: vec![DeviceProfile::k20m()],
+                device_slots: 24,
+                host_slots: 24,
+            },
+            SimNodeConfig {
+                gpus: vec![DeviceProfile::rtx2080ti()],
+                device_slots: 24,
+                host_slots: 24,
+            },
+        ];
+        let r = simulate(&SimConfig::cluster(w, nodes));
+        // RTX (scale 2.0) should process clearly more pairs than K20m (0.52).
+        assert!(
+            r.pairs_per_node[1] > r.pairs_per_node[0],
+            "pairs: {:?}",
+            r.pairs_per_node
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = toy_config(20, 2, 16);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.pairs_per_node, b.pairs_per_node);
+    }
+
+    #[test]
+    fn completions_recorded_when_asked() {
+        let mut cfg = toy_config(10, 1, 16);
+        cfg.record_completions = true;
+        let r = simulate(&cfg);
+        let series = r.completions.expect("completions");
+        assert_eq!(series.total(0), 45);
+    }
+
+    #[test]
+    fn busy_times_accounted() {
+        let cfg = toy_config(16, 1, 64);
+        let r = simulate(&cfg);
+        // 16 loads × 5 ms preprocess; 120 pairs × 1 ms compare.
+        assert!((r.busy_preprocess - 16.0 * 5e-3).abs() < 1e-9);
+        assert!((r.busy_compare - 120.0 * 1e-3).abs() < 1e-9);
+        assert!(r.busy_cpu > 0.0);
+        assert!(r.busy_io > 0.0);
+    }
+
+    #[test]
+    fn hop_stats_populate_with_multiple_nodes() {
+        let mut cfg = toy_config(24, 4, 6);
+        cfg.hops = 3;
+        let r = simulate(&cfg);
+        assert!(r.directory.lookups() > 0);
+        // With h=3 the hits_at_hop vector never exceeds 3 entries.
+        assert!(r.directory.hits_at_hop.len() <= 3);
+    }
+
+    #[test]
+    fn forensics_like_8_nodes_small_caches_completes() {
+        // Regression: reproduces the fig12 configuration that once
+        // deadlocked (small caches, many nodes, distributed cache on).
+        let w = WorkloadProfile {
+            name: "forensics-like",
+            items: 80,
+            file_bytes: 3_900_000,
+            item_bytes: 38_100_000,
+            parse: Dist::Constant(130.8e-3),
+            preprocess: Some(Dist::Constant(20.5e-3)),
+            compare: Dist::Constant(11e-3),
+            postprocess: Dist::Constant(0.0),
+            paper_device_slots: 28,
+            paper_host_slots: 104,
+        };
+        let node = SimNodeConfig {
+            gpus: vec![DeviceProfile::titanx_maxwell()],
+            device_slots: 7,
+            host_slots: 25,
+        };
+        let cfg = SimConfig::cluster(w, vec![node; 4]);
+        let r = simulate(&cfg);
+        assert_eq!(r.pairs, 80 * 79 / 2);
+    }
+
+    #[test]
+    fn no_preprocess_workload_runs() {
+        let mut w = toy_workload(12);
+        w.preprocess = None;
+        let node = SimNodeConfig::uniform(1, 16, 16);
+        let r = simulate(&SimConfig::cluster(w, vec![node]));
+        assert_eq!(r.pairs, 66);
+        assert_eq!(r.busy_preprocess, 0.0);
+        assert_eq!(r.loads, 12);
+    }
+}

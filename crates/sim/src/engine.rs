@@ -1,0 +1,156 @@
+//! Deterministic discrete-event core.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// A deterministic event queue: ties in time break by insertion order, so a
+/// simulation is a pure function of its configuration and seed.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+/// Wrapper making the payload inert for ordering purposes.
+#[derive(Debug)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now for
+    /// past-dated events).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` nanoseconds from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, EventSlot(event))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Converts seconds to [`SimTime`] nanoseconds (non-negative).
+pub fn secs_to_ns(seconds: f64) -> SimTime {
+    (seconds.max(0.0) * 1e9).round() as SimTime
+}
+
+/// Converts [`SimTime`] nanoseconds to seconds.
+pub fn ns_to_secs(ns: SimTime) -> f64 {
+    ns as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, 1);
+        q.schedule_at(5, 2);
+        q.schedule_at(5, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 100);
+        // schedule_in is relative to the new now.
+        q.schedule_in(50, ());
+        assert_eq!(q.pop().unwrap().0, 150);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "late");
+        q.pop();
+        q.schedule_at(10, "early");
+        assert_eq!(q.pop().unwrap().0, 100);
+    }
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert!((ns_to_secs(secs_to_ns(0.1308)) - 0.1308).abs() < 1e-9);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_at(1, ());
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Resource servers: FIFO engines and k-server pools.
+//!
+//! Each modelled resource (a GPU's compute queue, its two copy engines, a
+//! node's NIC, the shared storage pipe, the CPU pool) serializes its tasks.
+//! Because service times are known at submission, a server does not need an
+//! explicit queue: it tracks the time at which it drains and hands back the
+//! completion timestamp — identical semantics to a FIFO queue.
+
+use crate::engine::SimTime;
+
+/// Single FIFO server (one GPU engine, one NIC, the storage pipe).
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    free_at: SimTime,
+    busy_ns: u64,
+    tasks: u64,
+}
+
+impl Engine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a task of `duration` ns submitted at `now`; returns its
+    /// completion time.
+    pub fn submit(&mut self, now: SimTime, duration: u64) -> SimTime {
+        let start = self.free_at.max(now);
+        self.free_at = start + duration;
+        self.busy_ns += duration;
+        self.tasks += 1;
+        self.free_at
+    }
+
+    /// Total busy nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of tasks served.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// The earliest time a new task could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+}
+
+/// k-server pool (the CPU worker pool): each task runs on the server that
+/// frees first.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    free_at: Vec<SimTime>,
+    busy_ns: u64,
+    tasks: u64,
+}
+
+impl Pool {
+    /// Creates a pool with `servers` workers.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1);
+        Self { free_at: vec![0; servers], busy_ns: 0, tasks: 0 }
+    }
+
+    /// Enqueues a task of `duration` ns at `now`; returns completion time.
+    pub fn submit(&mut self, now: SimTime, duration: u64) -> SimTime {
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("non-empty pool");
+        let start = self.free_at[idx].max(now);
+        self.free_at[idx] = start + duration;
+        self.busy_ns += duration;
+        self.tasks += 1;
+        self.free_at[idx]
+    }
+
+    /// Total busy nanoseconds across all servers.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of tasks served.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_serializes() {
+        let mut e = Engine::new();
+        assert_eq!(e.submit(0, 10), 10);
+        assert_eq!(e.submit(0, 5), 15); // queued behind the first
+        assert_eq!(e.submit(100, 5), 105); // idle gap
+        assert_eq!(e.busy_ns(), 20);
+        assert_eq!(e.tasks(), 3);
+    }
+
+    #[test]
+    fn pool_runs_k_in_parallel() {
+        let mut p = Pool::new(2);
+        assert_eq!(p.submit(0, 10), 10);
+        assert_eq!(p.submit(0, 10), 10); // second server
+        assert_eq!(p.submit(0, 10), 20); // queues behind first free
+        assert_eq!(p.busy_ns(), 30);
+    }
+
+    #[test]
+    fn pool_picks_earliest_free_server() {
+        let mut p = Pool::new(2);
+        p.submit(0, 100); // server 0 busy until 100
+        p.submit(0, 10); // server 1 busy until 10
+        assert_eq!(p.submit(20, 5), 25); // runs on server 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pool_rejected() {
+        let _ = Pool::new(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixed-bin histograms and percentile summaries.
+//!
+//! Used by the reproduction harness for Fig 7 (comparison-time histograms)
+//! and for reporting run-time distributions in EXPERIMENTS.md.
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Samples outside the range are counted in saturating under/overflow bins so
+/// no observation is silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Floating-point edge: (hi - eps) can round up to bins.len().
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Counts below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_center, count)` pairs, for plotting / CSV export.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Index of the fullest bin (mode), if any sample landed in range.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.bins.iter().all(|&c| c == 0) {
+            return None;
+        }
+        self.bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+
+    /// Renders a compact ASCII sparkline-style row, used in `repro fig7`.
+    pub fn ascii(&self, width_per_bin: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let glyphs = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::new();
+        for &c in &self.bins {
+            let level = (c as f64 / max as f64 * 8.0).round() as usize;
+            for _ in 0..width_per_bin.max(1) {
+                out.push(glyphs[level.min(8)]);
+            }
+        }
+        out
+    }
+}
+
+/// Percentile summary of a sample set (exact, by sorting a copy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 50th percentile (median).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles of a non-empty sample set using the
+    /// nearest-rank method on a sorted copy.
+    pub fn of(samples: &[f64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * v.len() as f64).ceil() as usize;
+            v[idx.clamp(1, v.len()) - 1]
+        };
+        Some(Percentiles {
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            min: v[0],
+            max: v[v.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.bins().iter().all(|&c| c == 1));
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.1);
+        h.push(1.0); // hi is exclusive
+        h.push(5.0);
+        h.push(0.5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.out_of_range(), (1, 2));
+    }
+
+    #[test]
+    fn edge_just_below_hi_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.push(1.0 - 1e-12);
+        assert_eq!(h.bins()[2], 1);
+    }
+
+    #[test]
+    fn mode_bin_found() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.push(1.5);
+        h.push(1.6);
+        h.push(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn mode_bin_empty() {
+        let h = Histogram::new(0.0, 3.0, 3);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::of(&samples).unwrap();
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn percentiles_empty_is_none() {
+        assert!(Percentiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_single_sample() {
+        let p = Percentiles::of(&[7.0]).unwrap();
+        assert_eq!(p.p50, 7.0);
+        assert_eq!(p.p99, 7.0);
+        assert_eq!(p.min, 7.0);
+        assert_eq!(p.max, 7.0);
+    }
+
+    #[test]
+    fn ascii_output_has_expected_len() {
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        h.push(0.1);
+        let s = h.ascii(2);
+        assert_eq!(s.chars().count(), 16);
+    }
+}

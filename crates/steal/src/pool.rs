@@ -1,0 +1,321 @@
+//! Threaded hierarchical work-stealing pool over `crossbeam-deque`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::block::{Block, Pair};
+
+/// Maps each worker to the node it lives on; stealing prefers same-node
+/// victims (§4.2: "workers first attempt to steal from a worker on the same
+/// node before selecting a remote node").
+#[derive(Debug, Clone)]
+pub struct WorkerTopology {
+    /// `node_of[w]` = node id of worker `w`.
+    pub node_of: Vec<usize>,
+}
+
+impl WorkerTopology {
+    /// `nodes` nodes × `workers_per_node` workers each (the paper launches
+    /// one Constellation worker per GPU).
+    pub fn uniform(nodes: usize, workers_per_node: usize) -> Self {
+        let node_of = (0..nodes)
+            .flat_map(|n| std::iter::repeat(n).take(workers_per_node))
+            .collect();
+        Self { node_of }
+    }
+
+    /// A single node with `workers` workers.
+    pub fn single_node(workers: usize) -> Self {
+        Self::uniform(1, workers)
+    }
+
+    /// Total workers.
+    pub fn workers(&self) -> usize {
+        self.node_of.len()
+    }
+}
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StealPoolConfig {
+    /// Blocks with at most this many pairs are processed as leaves.
+    pub leaf_pairs: u64,
+    /// Seed for victim selection.
+    pub seed: u64,
+    /// Same-node steal attempts before trying a remote victim.
+    pub local_attempts: usize,
+}
+
+impl Default for StealPoolConfig {
+    fn default() -> Self {
+        Self { leaf_pairs: 1, seed: 0x9E3779B97F4A7C15, local_attempts: 2 }
+    }
+}
+
+/// Execution statistics of one pool run.
+#[derive(Debug, Clone, Default)]
+pub struct StealStats {
+    /// Pairs processed by each worker.
+    pub pairs_per_worker: Vec<u64>,
+    /// Successful steals from same-node victims.
+    pub local_steals: u64,
+    /// Successful steals from remote-node victims.
+    pub remote_steals: u64,
+}
+
+impl StealStats {
+    /// Total pairs processed.
+    pub fn total_pairs(&self) -> u64 {
+        self.pairs_per_worker.iter().sum()
+    }
+
+    /// Ratio of the busiest worker's share to a perfect split (1.0 = ideal).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 || self.pairs_per_worker.is_empty() {
+            return 1.0;
+        }
+        let max = *self.pairs_per_worker.iter().max().unwrap() as f64;
+        let ideal = total as f64 / self.pairs_per_worker.len() as f64;
+        max / ideal
+    }
+}
+
+/// The work-stealing pool. Stateless: `run` owns its threads for one
+/// workload and joins them before returning.
+pub struct StealPool;
+
+impl StealPool {
+    /// Processes every pair of `n` items, calling `on_leaf(worker, pair)`
+    /// from pool worker threads. `on_leaf` may block (that is how the
+    /// concurrent-job limit applies back-pressure to the scheduler).
+    pub fn run<F>(
+        n: u64,
+        topology: &WorkerTopology,
+        config: &StealPoolConfig,
+        on_leaf: F,
+    ) -> StealStats
+    where
+        F: Fn(usize, Pair) + Sync,
+    {
+        let workers = topology.workers();
+        assert!(workers > 0, "pool needs at least one worker");
+        let total = n * n.saturating_sub(1) / 2;
+        if total == 0 {
+            return StealStats { pairs_per_worker: vec![0; workers], ..Default::default() };
+        }
+
+        let deques: Vec<Deque<Block>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<Block>> = deques.iter().map(Deque::stealer).collect();
+        deques[0].push(Block::root(n));
+
+        let processed = AtomicU64::new(0);
+        let local_steals = AtomicU64::new(0);
+        let remote_steals = AtomicU64::new(0);
+        let per_worker: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+
+        let run_worker = |worker: usize, deque: Deque<Block>| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let my_node = topology.node_of[worker];
+            let siblings: Vec<usize> = (0..workers)
+                .filter(|&w| w != worker && topology.node_of[w] == my_node)
+                .collect();
+            let strangers: Vec<usize> = (0..workers)
+                .filter(|&w| topology.node_of[w] != my_node)
+                .collect();
+            let mut idle_spins = 0u32;
+            loop {
+                if let Some(block) = deque.pop() {
+                    idle_spins = 0;
+                    if block.count() <= config.leaf_pairs {
+                        let mut done = 0u64;
+                        for pair in block.pairs() {
+                            on_leaf(worker, pair);
+                            done += 1;
+                        }
+                        per_worker[worker].fetch_add(done, Ordering::Relaxed);
+                        processed.fetch_add(done, Ordering::Relaxed);
+                    } else {
+                        for child in block.split() {
+                            deque.push(child);
+                        }
+                    }
+                    continue;
+                }
+                if processed.load(Ordering::Relaxed) >= total {
+                    break;
+                }
+                // Hierarchical steal: same node first, then remote.
+                let mut stolen = false;
+                for _ in 0..config.local_attempts {
+                    if siblings.is_empty() {
+                        break;
+                    }
+                    let victim = siblings[rng.gen_range(0..siblings.len())];
+                    if let Steal::Success(block) = stealers[victim].steal() {
+                        deque.push(block);
+                        local_steals.fetch_add(1, Ordering::Relaxed);
+                        stolen = true;
+                        break;
+                    }
+                }
+                if !stolen && !strangers.is_empty() {
+                    let victim = strangers[rng.gen_range(0..strangers.len())];
+                    if let Steal::Success(block) = stealers[victim].steal() {
+                        deque.push(block);
+                        remote_steals.fetch_add(1, Ordering::Relaxed);
+                        stolen = true;
+                    }
+                }
+                if !stolen {
+                    idle_spins += 1;
+                    if idle_spins > 64 {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (worker, deque) in deques.into_iter().enumerate() {
+                let run_worker = &run_worker;
+                handles.push(scope.spawn(move || run_worker(worker, deque)));
+            }
+            for h in handles {
+                h.join().expect("pool worker panicked");
+            }
+        });
+
+        StealStats {
+            pairs_per_worker: per_worker.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            local_steals: local_steals.load(Ordering::Relaxed),
+            remote_steals: remote_steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_pairs_processed_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let n = 40u64;
+        let stats = StealPool::run(
+            n,
+            &WorkerTopology::single_node(4),
+            &StealPoolConfig::default(),
+            |_, pair| {
+                assert!(seen.lock().insert(pair), "duplicate pair {pair:?}");
+            },
+        );
+        assert_eq!(seen.lock().len() as u64, n * (n - 1) / 2);
+        assert_eq!(stats.total_pairs(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let count = AtomicU64::new(0);
+        let stats = StealPool::run(
+            10,
+            &WorkerTopology::single_node(1),
+            &StealPoolConfig::default(),
+            |w, _| {
+                assert_eq!(w, 0);
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 45);
+        assert_eq!(stats.local_steals + stats.remote_steals, 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for n in [0u64, 1] {
+            let stats = StealPool::run(
+                n,
+                &WorkerTopology::single_node(2),
+                &StealPoolConfig::default(),
+                |_, _| panic!("no pairs expected"),
+            );
+            assert_eq!(stats.total_pairs(), 0);
+        }
+        let stats = StealPool::run(
+            2,
+            &WorkerTopology::single_node(2),
+            &StealPoolConfig::default(),
+            |_, pair| assert_eq!(pair, Pair { left: 0, right: 1 }),
+        );
+        assert_eq!(stats.total_pairs(), 1);
+    }
+
+    #[test]
+    fn work_is_shared_across_workers() {
+        let n = 128u64;
+        let stats = StealPool::run(
+            n,
+            &WorkerTopology::single_node(4),
+            &StealPoolConfig { leaf_pairs: 16, ..Default::default() },
+            |_, _| {
+                // Sleep (not spin): on single-core machines this forces the
+                // scheduler to rotate workers so stealing can engage.
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            },
+        );
+        let active = stats.pairs_per_worker.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 2, "only {active} workers participated: {:?}", stats.pairs_per_worker);
+        assert!(stats.local_steals + stats.remote_steals > 0);
+    }
+
+    #[test]
+    fn multi_node_topology_prefers_local_steals() {
+        let n = 200u64;
+        let stats = StealPool::run(
+            n,
+            &WorkerTopology::uniform(2, 2),
+            &StealPoolConfig { leaf_pairs: 8, ..Default::default() },
+            |_, _| {
+                std::thread::sleep(std::time::Duration::from_micros(10));
+            },
+        );
+        assert_eq!(stats.total_pairs(), n * (n - 1) / 2);
+        // Both nodes' workers processed something.
+        assert!(stats.pairs_per_worker[0] + stats.pairs_per_worker[1] > 0);
+        assert!(stats.pairs_per_worker[2] + stats.pairs_per_worker[3] > 0);
+    }
+
+    #[test]
+    fn leaf_batching_respected() {
+        let seen = AtomicU64::new(0);
+        StealPool::run(
+            32,
+            &WorkerTopology::single_node(2),
+            &StealPoolConfig { leaf_pairs: 64, ..Default::default() },
+            |_, _| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 32 * 31 / 2);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let stats = StealStats {
+            pairs_per_worker: vec![30, 10],
+            ..Default::default()
+        };
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+        let perfect = StealStats { pairs_per_worker: vec![20, 20], ..Default::default() };
+        assert!((perfect.imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic fault injection for robustness testing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use crate::store::{ObjectStore, Result, StorageError};
+
+/// Wraps a store and fails every `period`-th read deterministically
+/// (1-indexed: with `period = 3`, reads 3, 6, 9, … fail).
+///
+/// Failures are transient — retrying the same key succeeds unless the retry
+/// itself lands on a failing tick — which models the flaky shared file
+/// server Rocket must tolerate.
+pub struct FaultStore<S> {
+    inner: S,
+    period: u64,
+    counter: AtomicU64,
+}
+
+impl<S: ObjectStore> FaultStore<S> {
+    /// Creates a wrapper failing every `period`-th read; `period = 0`
+    /// disables injection.
+    pub fn every(inner: S, period: u64) -> Self {
+        Self {
+            inner,
+            period,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of reads attempted so far.
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultStore<S> {
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.inner.size(key)
+    }
+
+    fn read(&self, key: &str) -> Result<Bytes> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.period != 0 && n % self.period == 0 {
+            return Err(StorageError::Unavailable(format!(
+                "injected fault on read #{n} (key {key})"
+            )));
+        }
+        self.inner.read(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn base() -> MemStore {
+        MemStore::from_iter([("k", vec![9u8; 4])])
+    }
+
+    #[test]
+    fn fails_on_schedule() {
+        let s = FaultStore::every(base(), 3);
+        assert!(s.read("k").is_ok());
+        assert!(s.read("k").is_ok());
+        assert!(s.read("k").is_err());
+        assert!(s.read("k").is_ok());
+        assert_eq!(s.attempts(), 4);
+    }
+
+    #[test]
+    fn zero_period_never_fails() {
+        let s = FaultStore::every(base(), 0);
+        for _ in 0..10 {
+            assert!(s.read("k").is_ok());
+        }
+    }
+
+    #[test]
+    fn size_and_list_unaffected() {
+        let s = FaultStore::every(base(), 1);
+        assert_eq!(s.list(), vec!["k"]);
+        assert_eq!(s.size("k").unwrap(), 4);
+        // Every read fails with period 1.
+        assert!(s.read("k").is_err());
+    }
+}

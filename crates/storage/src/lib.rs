@@ -1,0 +1,23 @@
+//! Object-storage substrate for Rocket — the stand-in for the paper's
+//! Xenon library + MinIO central file server.
+//!
+//! Rocket's load pipeline `ℓ(i)` begins by reading the i-th input file from
+//! (possibly remote) storage. The runtime only needs three operations —
+//! list, size, read — expressed by the [`ObjectStore`] trait. Backends:
+//!
+//! * [`MemStore`] — in-memory objects (synthetic data sets, tests),
+//! * [`DirStore`] — a directory on the local filesystem,
+//! * [`ModeledStore`] — wraps any store with request latency and a shared
+//!   bandwidth cap, emulating a loaded central file server; it also keeps the
+//!   aggregate I/O counters behind the paper's Fig 12 (average I/O usage),
+//! * [`FaultStore`] — deterministic failure injection for robustness tests.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod modeled;
+pub mod store;
+
+pub use fault::FaultStore;
+pub use modeled::{IoStats, ModeledStore};
+pub use store::{DirStore, MemStore, ObjectStore, StorageError};

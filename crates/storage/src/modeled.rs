@@ -1,0 +1,224 @@
+//! Latency/bandwidth-modelled store wrapper and aggregate I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::store::{ObjectStore, Result};
+
+/// Aggregate I/O counters shared across the cluster.
+///
+/// The paper's Fig 12 (bottom row) reports "average I/O usage": total bytes
+/// transferred by all nodes divided by total run time. `IoStats` accumulates
+/// the numerator; the caller supplies the run time.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    requests: AtomicU64,
+    bytes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful read of `n` bytes.
+    pub fn record_read(&self, n: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a failed request.
+    pub fn record_error(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed requests.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Average I/O usage in MB/s over `runtime_secs` (Fig 12's metric).
+    pub fn average_mbps(&self, runtime_secs: f64) -> f64 {
+        if runtime_secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / 1e6 / runtime_secs
+    }
+}
+
+/// Wraps a store with a per-request latency and a shared bandwidth cap,
+/// emulating a central file server (the paper's MinIO over InfiniBand).
+///
+/// With `sleep` enabled the wrapper actually delays the calling thread — the
+/// threaded runtime uses this to make I/O overlap observable. The simulator
+/// never sleeps: it asks [`ModeledStore::modelled_read_time`] for the cost
+/// and advances virtual time itself.
+pub struct ModeledStore<S> {
+    inner: S,
+    latency: Duration,
+    bandwidth_bytes_per_sec: f64,
+    sleep: bool,
+    stats: Arc<IoStats>,
+}
+
+impl<S: ObjectStore> ModeledStore<S> {
+    /// Wraps `inner` with `latency` per request and a bandwidth cap in
+    /// bytes/second (`f64::INFINITY` for unlimited).
+    pub fn new(inner: S, latency: Duration, bandwidth_bytes_per_sec: f64) -> Self {
+        Self {
+            inner,
+            latency,
+            bandwidth_bytes_per_sec,
+            sleep: false,
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// Enables real sleeping in `read` (threaded-runtime mode).
+    pub fn with_sleep(mut self, sleep: bool) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Shares these counters (e.g. one `IoStats` across many node stores).
+    pub fn with_stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The modelled wall time to read `bytes` bytes: latency + transfer.
+    pub fn modelled_read_time(&self, bytes: u64) -> Duration {
+        let transfer = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency + transfer
+    }
+
+    /// Access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for ModeledStore<S> {
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.inner.size(key)
+    }
+
+    fn read(&self, key: &str) -> Result<Bytes> {
+        match self.inner.read(key) {
+            Ok(data) => {
+                self.stats.record_read(data.len() as u64);
+                if self.sleep {
+                    std::thread::sleep(self.modelled_read_time(data.len() as u64));
+                }
+                Ok(data)
+            }
+            Err(e) => {
+                self.stats.record_error();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::time::Instant;
+
+    fn store_with(data: &[(&str, usize)]) -> MemStore {
+        MemStore::from_iter(data.iter().map(|&(k, n)| (k, vec![0u8; n])))
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = ModeledStore::new(
+            store_with(&[("a", 100), ("b", 50)]),
+            Duration::ZERO,
+            f64::INFINITY,
+        );
+        m.read("a").unwrap();
+        m.read("b").unwrap();
+        assert!(m.read("missing").is_err());
+        let stats = m.stats();
+        assert_eq!(stats.requests(), 3);
+        assert_eq!(stats.bytes(), 150);
+        assert_eq!(stats.errors(), 1);
+    }
+
+    #[test]
+    fn average_mbps() {
+        let s = IoStats::new();
+        s.record_read(10_000_000);
+        assert!((s.average_mbps(2.0) - 5.0).abs() < 1e-9);
+        assert_eq!(s.average_mbps(0.0), 0.0);
+    }
+
+    #[test]
+    fn modelled_time_includes_latency_and_transfer() {
+        let m = ModeledStore::new(store_with(&[]), Duration::from_millis(5), 1e6);
+        let t = m.modelled_read_time(2_000_000);
+        assert!((t.as_secs_f64() - 2.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_latency_only() {
+        let m = ModeledStore::new(store_with(&[]), Duration::from_millis(3), f64::INFINITY);
+        assert_eq!(m.modelled_read_time(u64::MAX), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn sleep_mode_actually_delays() {
+        let m = ModeledStore::new(
+            store_with(&[("a", 10)]),
+            Duration::from_millis(20),
+            f64::INFINITY,
+        )
+        .with_sleep(true);
+        let t0 = Instant::now();
+        m.read("a").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn shared_stats_across_wrappers() {
+        let shared = Arc::new(IoStats::new());
+        let a = ModeledStore::new(store_with(&[("x", 7)]), Duration::ZERO, f64::INFINITY)
+            .with_stats(Arc::clone(&shared));
+        let b = ModeledStore::new(store_with(&[("y", 5)]), Duration::ZERO, f64::INFINITY)
+            .with_stats(Arc::clone(&shared));
+        a.read("x").unwrap();
+        b.read("y").unwrap();
+        assert_eq!(shared.bytes(), 12);
+        assert_eq!(shared.requests(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! The [`ObjectStore`] trait and the basic in-memory / on-disk backends.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Errors produced by storage backends.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The requested object does not exist.
+    NotFound(String),
+    /// An underlying I/O failure (on-disk backend, injected faults).
+    Io(io::Error),
+    /// The store rejected the request (e.g. injected fault).
+    Unavailable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(key) => write!(f, "object not found: {key}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Unavailable(why) => write!(f, "storage unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::NotFound {
+            StorageError::NotFound(e.to_string())
+        } else {
+            StorageError::Io(e)
+        }
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// A read-only object store keyed by string paths.
+///
+/// Implementations must be thread-safe: Rocket's I/O thread and tests hit
+/// stores concurrently.
+pub trait ObjectStore: Send + Sync {
+    /// Lists all object keys (sorted).
+    fn list(&self) -> Vec<String>;
+
+    /// Returns an object's size in bytes without reading it.
+    fn size(&self, key: &str) -> Result<u64>;
+
+    /// Reads an entire object.
+    fn read(&self, key: &str) -> Result<Bytes>;
+
+    /// Sum of all object sizes ("size of raw data on disk", Table 1).
+    fn total_bytes(&self) -> u64 {
+        self.list()
+            .iter()
+            .filter_map(|k| self.size(k).ok())
+            .sum()
+    }
+}
+
+/// In-memory object store. Cheap clones of stored [`Bytes`] make reads
+/// zero-copy.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) an object.
+    pub fn put(&self, key: impl Into<String>, data: impl Into<Bytes>) {
+        self.objects.write().insert(key.into(), data.into());
+    }
+
+    /// Builds a store from an iterator of `(key, bytes)` pairs.
+    pub fn from_iter<K, V>(items: impl IntoIterator<Item = (K, V)>) -> Self
+    where
+        K: Into<String>,
+        V: Into<Bytes>,
+    {
+        let store = Self::new();
+        for (k, v) in items {
+            store.put(k, v);
+        }
+        store
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn list(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn read(&self, key: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+}
+
+/// Filesystem-backed store rooted at a directory. Keys are paths relative to
+/// the root; only regular files directly under the root (recursively) are
+/// listed.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Creates a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &PathBuf {
+        &self.root
+    }
+
+    fn resolve(&self, key: &str) -> Result<PathBuf> {
+        // Reject path traversal: keys must stay under the root.
+        if key.split('/').any(|c| c == "..") || key.starts_with('/') {
+            return Err(StorageError::Unavailable(format!(
+                "key escapes store root: {key}"
+            )));
+        }
+        Ok(self.root.join(key))
+    }
+
+    fn walk(dir: &PathBuf, prefix: &str, out: &mut Vec<String>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let rel = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}/{name}")
+            };
+            let path = entry.path();
+            if path.is_dir() {
+                Self::walk(&path, &rel, out);
+            } else if path.is_file() {
+                out.push(rel);
+            }
+        }
+    }
+}
+
+impl ObjectStore for DirStore {
+    fn list(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, "", &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        let path = self.resolve(key)?;
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn read(&self, key: &str) -> Result<Bytes> {
+        let path = self.resolve(key)?;
+        Ok(Bytes::from(std::fs::read(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_roundtrip() {
+        let s = MemStore::new();
+        s.put("a.bin", vec![1, 2, 3]);
+        s.put("b.bin", vec![4; 10]);
+        assert_eq!(s.list(), vec!["a.bin", "b.bin"]);
+        assert_eq!(s.size("a.bin").unwrap(), 3);
+        assert_eq!(s.read("a.bin").unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(s.total_bytes(), 13);
+    }
+
+    #[test]
+    fn memstore_missing_key() {
+        let s = MemStore::new();
+        assert!(matches!(s.read("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(s.size("nope"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn memstore_from_iter() {
+        let s = MemStore::from_iter([("x", vec![0u8; 4]), ("y", vec![1u8; 2])]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn dirstore_lists_and_reads() {
+        let dir = std::env::temp_dir().join(format!("rocket-dirstore-{}", std::process::id()));
+        let sub = dir.join("sub");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(dir.join("one.txt"), b"hello").unwrap();
+        std::fs::write(sub.join("two.txt"), b"world!").unwrap();
+
+        let s = DirStore::new(&dir);
+        assert_eq!(s.list(), vec!["one.txt", "sub/two.txt"]);
+        assert_eq!(s.size("one.txt").unwrap(), 5);
+        assert_eq!(s.read("sub/two.txt").unwrap().as_ref(), b"world!");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirstore_rejects_traversal() {
+        let s = DirStore::new("/tmp");
+        assert!(matches!(
+            s.read("../etc/passwd"),
+            Err(StorageError::Unavailable(_))
+        ));
+        assert!(matches!(
+            s.read("/etc/passwd"),
+            Err(StorageError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn dirstore_missing_file_maps_to_not_found() {
+        let s = DirStore::new(std::env::temp_dir());
+        assert!(matches!(
+            s.read("definitely-not-here-3141592.bin"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! Chrome-trace (`about:tracing` / Perfetto) JSON export.
+//!
+//! The writer is hand-rolled: the format is a flat array of complete events
+//! (`"ph": "X"`) and needs no general-purpose JSON dependency. Durations are
+//! exported in microseconds as the format requires.
+
+use std::fmt::Write as _;
+
+use crate::span::Span;
+
+/// Serializes spans into Chrome trace-event JSON.
+///
+/// Thread classes become trace "processes" and lanes become "threads", which
+/// renders each resource on its own row exactly like the paper's Fig 6.
+pub fn to_chrome_json(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("[\n");
+    for (i, s) in spans.iter().enumerate() {
+        let comma = if i + 1 == spans.len() { "" } else { "," };
+        // Escape-free by construction: labels are static ASCII identifiers.
+        let _ = write!(
+            out,
+            "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":\"{}\",\"tid\":{},\"args\":{{\"tag\":{}}}}}{}\n",
+            s.kind.label(),
+            s.class.label(),
+            s.start_ns / 1_000,
+            (s.duration_ns() / 1_000).max(1),
+            s.class.label(),
+            s.lane,
+            s.tag,
+            comma
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{TaskKind, ThreadClass};
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            Span {
+                class: ThreadClass::Gpu,
+                lane: 0,
+                kind: TaskKind::Compare,
+                start_ns: 1_000,
+                end_ns: 3_000,
+                tag: 5,
+            },
+            Span {
+                class: ThreadClass::Io,
+                lane: 0,
+                kind: TaskKind::Read,
+                start_ns: 0,
+                end_ns: 10_000,
+                tag: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn emits_array_with_one_object_per_span() {
+        let json = to_chrome_json(&sample_spans());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"compare\""));
+        assert!(json.contains("\"pid\":\"IO\""));
+    }
+
+    #[test]
+    fn durations_in_microseconds() {
+        let json = to_chrome_json(&sample_spans());
+        assert!(json.contains("\"ts\":1,\"dur\":2"));
+        assert!(json.contains("\"ts\":0,\"dur\":10"));
+    }
+
+    #[test]
+    fn zero_duration_clamped_to_one_us() {
+        let spans = vec![Span {
+            class: ThreadClass::Cpu,
+            lane: 0,
+            kind: TaskKind::Parse,
+            start_ns: 0,
+            end_ns: 0,
+            tag: 0,
+        }];
+        let json = to_chrome_json(&spans);
+        assert!(json.contains("\"dur\":1"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_array() {
+        assert_eq!(to_chrome_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn no_trailing_comma() {
+        let json = to_chrome_json(&sample_spans());
+        assert!(!json.contains(",\n]"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Task tracing and timeline analysis for Rocket (§4.3 of the paper).
+//!
+//! Rocket's runtime launches one thread (class) per resource — CPU pool, GPU
+//! kernel launch, H2D copy, D2H copy, I/O — and an optional profiling flag
+//! records every task each thread executes. The paper uses those traces for
+//! Fig 6 (timeline), Fig 8/10 (per-thread busy time), and Fig 14 (throughput
+//! over time).
+//!
+//! Timestamps are `u64` nanoseconds relative to the start of a run, which
+//! lets the same machinery serve both the threaded runtime (wall-clock) and
+//! the discrete-event simulator (virtual time).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod recorder;
+pub mod span;
+pub mod throughput;
+pub mod timeline;
+
+pub use recorder::TraceRecorder;
+pub use span::{Span, TaskKind, ThreadClass};
+pub use throughput::ThroughputSeries;
+pub use timeline::{BusyTime, Timeline};

@@ -1,0 +1,207 @@
+//! Thread-safe span recorder.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::span::{Span, TaskKind, ThreadClass};
+
+/// Collects [`Span`]s from many threads.
+///
+/// Recording is gated by an atomic enable flag (the paper's "optional
+/// profiling flag"); when disabled, `record` is a single relaxed load.
+/// Spans are buffered in per-call locked pushes — tracing granularity in
+/// Rocket is per *task* (milliseconds), so contention is negligible.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    enabled: AtomicBool,
+    spans: Mutex<Vec<Span>>,
+    epoch: Instant,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl TraceRecorder {
+    /// Creates a recorder; `enabled` controls whether spans are kept.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            spans: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A shared, enabled recorder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(true))
+    }
+
+    /// A shared, disabled recorder (no-op sink).
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self::new(false))
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the recorder was created (wall-clock runs).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span with explicit timestamps (used by the simulator, which
+    /// supplies virtual time).
+    pub fn record(&self, span: Span) {
+        if self.is_enabled() {
+            self.spans.lock().push(span);
+        }
+    }
+
+    /// Records a task that ran from `start_ns` until now (wall-clock runs).
+    pub fn record_since(
+        &self,
+        class: ThreadClass,
+        lane: u32,
+        kind: TaskKind,
+        start_ns: u64,
+        tag: u64,
+    ) {
+        if self.is_enabled() {
+            let end_ns = self.now_ns().max(start_ns);
+            self.record(Span { class, lane, kind, start_ns, end_ns, tag });
+        }
+    }
+
+    /// Runs `f`, recording it as a span of the given kind (wall-clock runs).
+    pub fn scope<T>(
+        &self,
+        class: ThreadClass,
+        lane: u32,
+        kind: TaskKind,
+        tag: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        if !self.is_enabled() {
+            return f();
+        }
+        let start = self.now_ns();
+        let out = f();
+        self.record_since(class, lane, kind, start, tag);
+        out
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes all recorded spans, leaving the recorder empty.
+    pub fn take(&self) -> Vec<Span> {
+        std::mem::take(&mut *self.spans.lock())
+    }
+
+    /// Clones the recorded spans.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_when_enabled() {
+        let rec = TraceRecorder::new(true);
+        rec.record(Span {
+            class: ThreadClass::Io,
+            lane: 0,
+            kind: TaskKind::Read,
+            start_ns: 0,
+            end_ns: 10,
+            tag: 1,
+        });
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn ignores_when_disabled() {
+        let rec = TraceRecorder::new(false);
+        rec.record(Span {
+            class: ThreadClass::Io,
+            lane: 0,
+            kind: TaskKind::Read,
+            start_ns: 0,
+            end_ns: 10,
+            tag: 1,
+        });
+        assert!(rec.is_empty());
+        rec.set_enabled(true);
+        rec.scope(ThreadClass::Cpu, 0, TaskKind::Parse, 2, || ());
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn scope_returns_value_and_measures() {
+        let rec = TraceRecorder::new(true);
+        let v = rec.scope(ThreadClass::Cpu, 3, TaskKind::Parse, 9, || 42);
+        assert_eq!(v, 42);
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lane, 3);
+        assert_eq!(spans[0].tag, 9);
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn take_drains() {
+        let rec = TraceRecorder::new(true);
+        rec.scope(ThreadClass::Gpu, 0, TaskKind::Compare, 0, || ());
+        assert_eq!(rec.take().len(), 1);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let rec = Arc::new(TraceRecorder::new(true));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let rec = Arc::clone(&rec);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    rec.record(Span {
+                        class: ThreadClass::Cpu,
+                        lane: t,
+                        kind: TaskKind::Parse,
+                        start_ns: i,
+                        end_ns: i + 1,
+                        tag: 0,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.len(), 400);
+    }
+}

@@ -1,0 +1,157 @@
+//! Trace span and task classification types.
+
+use std::fmt;
+
+/// The resource class a traced thread belongs to (§4.3: Rocket launches one
+/// thread type per resource so tasks on different threads never interfere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThreadClass {
+    /// CPU worker pool (parsing, post-processing).
+    Cpu,
+    /// Per-GPU kernel-launch thread.
+    Gpu,
+    /// Per-GPU host-to-device transfer thread.
+    CpuToGpu,
+    /// Per-GPU device-to-host transfer thread.
+    GpuToCpu,
+    /// (Remote) file-system I/O thread.
+    Io,
+    /// Scheduler / work-stealing activity.
+    Scheduler,
+}
+
+impl ThreadClass {
+    /// All classes in the order the paper's Fig 8 presents them.
+    pub const ALL: [ThreadClass; 6] = [
+        ThreadClass::Gpu,
+        ThreadClass::Cpu,
+        ThreadClass::CpuToGpu,
+        ThreadClass::GpuToCpu,
+        ThreadClass::Io,
+        ThreadClass::Scheduler,
+    ];
+
+    /// The label used in figures (matches the paper's x-axis).
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadClass::Cpu => "CPU",
+            ThreadClass::Gpu => "GPU",
+            ThreadClass::CpuToGpu => "CPU→GPU",
+            ThreadClass::GpuToCpu => "GPU→CPU",
+            ThreadClass::Io => "IO",
+            ThreadClass::Scheduler => "SCHED",
+        }
+    }
+}
+
+impl fmt::Display for ThreadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a traced task was doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    /// Reading a file from (remote) storage.
+    Read,
+    /// User-defined parse stage on the CPU.
+    Parse,
+    /// User-defined pre-processing kernel on the GPU.
+    Preprocess,
+    /// User-defined comparison kernel on the GPU.
+    Compare,
+    /// Host-to-device buffer copy.
+    CopyIn,
+    /// Device-to-host buffer copy.
+    CopyOut,
+    /// User-defined post-processing on the CPU.
+    Postprocess,
+    /// Fetching an item from a remote node's host cache (level 3).
+    RemoteFetch,
+    /// Serving an item to a remote node.
+    RemoteServe,
+    /// Work-stealing / task management overhead.
+    Steal,
+}
+
+impl TaskKind {
+    /// Short label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Read => "read",
+            TaskKind::Parse => "parse",
+            TaskKind::Preprocess => "preprocess",
+            TaskKind::Compare => "compare",
+            TaskKind::CopyIn => "copy_in",
+            TaskKind::CopyOut => "copy_out",
+            TaskKind::Postprocess => "postprocess",
+            TaskKind::RemoteFetch => "remote_fetch",
+            TaskKind::RemoteServe => "remote_serve",
+            TaskKind::Steal => "steal",
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One executed task on one thread: a closed interval on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Which resource class executed the task.
+    pub class: ThreadClass,
+    /// Identifier of the thread within its class (e.g. GPU index).
+    pub lane: u32,
+    /// What the task was.
+    pub kind: TaskKind,
+    /// Start time in nanoseconds since run start.
+    pub start_ns: u64,
+    /// End time in nanoseconds since run start (≥ `start_ns`).
+    pub end_ns: u64,
+    /// Optional item / pair tag (e.g. item index) for debugging.
+    pub tag: u64,
+}
+
+impl Span {
+    /// Duration of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ThreadClass::CpuToGpu.label(), "CPU→GPU");
+        assert_eq!(TaskKind::Compare.label(), "compare");
+    }
+
+    #[test]
+    fn duration_computation() {
+        let s = Span {
+            class: ThreadClass::Gpu,
+            lane: 0,
+            kind: TaskKind::Compare,
+            start_ns: 100,
+            end_ns: 350,
+            tag: 7,
+        };
+        assert_eq!(s.duration_ns(), 250);
+    }
+
+    #[test]
+    fn all_classes_unique_labels() {
+        let labels: Vec<&str> = ThreadClass::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

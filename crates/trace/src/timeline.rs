@@ -1,0 +1,194 @@
+//! Timeline aggregation: per-thread busy time (the paper's Fig 8 / Fig 10).
+
+use std::collections::BTreeMap;
+
+use crate::span::{Span, TaskKind, ThreadClass};
+
+/// Busy-time totals for one thread class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BusyTime {
+    /// Total busy nanoseconds per task kind.
+    pub per_kind: BTreeMap<TaskKind, u64>,
+}
+
+impl BusyTime {
+    /// Total busy nanoseconds across all kinds.
+    pub fn total_ns(&self) -> u64 {
+        self.per_kind.values().sum()
+    }
+
+    /// Busy nanoseconds for one kind.
+    pub fn kind_ns(&self, kind: TaskKind) -> u64 {
+        self.per_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+/// An analyzed trace.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Builds a timeline from recorded spans.
+    pub fn new(spans: Vec<Span>) -> Self {
+        Self { spans }
+    }
+
+    /// The underlying spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// End of the last span (the trace's makespan), 0 for an empty trace.
+    pub fn end_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// Aggregates busy time per thread class (summed over lanes). This is the
+    /// quantity plotted as the bars of Fig 8: "total time of tasks executed
+    /// by each thread".
+    pub fn busy_by_class(&self) -> BTreeMap<ThreadClass, BusyTime> {
+        let mut out: BTreeMap<ThreadClass, BusyTime> = BTreeMap::new();
+        for s in &self.spans {
+            *out
+                .entry(s.class)
+                .or_default()
+                .per_kind
+                .entry(s.kind)
+                .or_insert(0) += s.duration_ns();
+        }
+        out
+    }
+
+    /// Aggregates busy time per individual lane of one class (e.g. per GPU).
+    pub fn busy_by_lane(&self, class: ThreadClass) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for s in self.spans.iter().filter(|s| s.class == class) {
+            *out.entry(s.lane).or_insert(0) += s.duration_ns();
+        }
+        out
+    }
+
+    /// Utilization of a class: busy time divided by the trace makespan times
+    /// the number of lanes observed for that class.
+    pub fn utilization(&self, class: ThreadClass) -> f64 {
+        let end = self.end_ns();
+        if end == 0 {
+            return 0.0;
+        }
+        let lanes = self.busy_by_lane(class);
+        if lanes.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = lanes.values().sum();
+        busy as f64 / (end as f64 * lanes.len() as f64)
+    }
+
+    /// Number of spans of a given kind.
+    pub fn count_kind(&self, kind: TaskKind) -> usize {
+        self.spans.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Merges the maximum overlap check: returns `true` if any two spans on
+    /// the same (class, lane) overlap in time — a correctness violation for
+    /// resources that execute tasks one at a time.
+    pub fn has_lane_overlap(&self) -> bool {
+        let mut by_lane: BTreeMap<(ThreadClass, u32), Vec<(u64, u64)>> = BTreeMap::new();
+        for s in &self.spans {
+            by_lane
+                .entry((s.class, s.lane))
+                .or_default()
+                .push((s.start_ns, s.end_ns));
+        }
+        for intervals in by_lane.values_mut() {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(class: ThreadClass, lane: u32, kind: TaskKind, start: u64, end: u64) -> Span {
+        Span { class, lane, kind, start_ns: start, end_ns: end, tag: 0 }
+    }
+
+    #[test]
+    fn busy_by_class_sums_durations() {
+        let tl = Timeline::new(vec![
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 10),
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 10, 30),
+            span(ThreadClass::Gpu, 0, TaskKind::Preprocess, 30, 35),
+            span(ThreadClass::Cpu, 1, TaskKind::Parse, 0, 7),
+        ]);
+        let busy = tl.busy_by_class();
+        assert_eq!(busy[&ThreadClass::Gpu].total_ns(), 35);
+        assert_eq!(busy[&ThreadClass::Gpu].kind_ns(TaskKind::Compare), 30);
+        assert_eq!(busy[&ThreadClass::Gpu].kind_ns(TaskKind::Preprocess), 5);
+        assert_eq!(busy[&ThreadClass::Cpu].total_ns(), 7);
+    }
+
+    #[test]
+    fn end_ns_is_makespan() {
+        let tl = Timeline::new(vec![
+            span(ThreadClass::Io, 0, TaskKind::Read, 5, 100),
+            span(ThreadClass::Cpu, 0, TaskKind::Parse, 0, 60),
+        ]);
+        assert_eq!(tl.end_ns(), 100);
+        assert_eq!(Timeline::default().end_ns(), 0);
+    }
+
+    #[test]
+    fn utilization_full_lane() {
+        let tl = Timeline::new(vec![
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 100),
+        ]);
+        assert!((tl.utilization(ThreadClass::Gpu) - 1.0).abs() < 1e-12);
+        assert_eq!(tl.utilization(ThreadClass::Io), 0.0);
+    }
+
+    #[test]
+    fn utilization_two_lanes_half_busy() {
+        let tl = Timeline::new(vec![
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 100),
+            span(ThreadClass::Gpu, 1, TaskKind::Compare, 0, 0),
+        ]);
+        // lane 1 contributes nothing; 100 busy over 2 lanes × 100 makespan.
+        assert!((tl.utilization(ThreadClass::Gpu) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let ok = Timeline::new(vec![
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 10),
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 10, 20),
+            span(ThreadClass::Gpu, 1, TaskKind::Compare, 5, 15),
+        ]);
+        assert!(!ok.has_lane_overlap());
+
+        let bad = Timeline::new(vec![
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 10),
+            span(ThreadClass::Gpu, 0, TaskKind::Compare, 9, 20),
+        ]);
+        assert!(bad.has_lane_overlap());
+    }
+
+    #[test]
+    fn count_kind_filters() {
+        let tl = Timeline::new(vec![
+            span(ThreadClass::Cpu, 0, TaskKind::Parse, 0, 1),
+            span(ThreadClass::Cpu, 0, TaskKind::Parse, 1, 2),
+            span(ThreadClass::Io, 0, TaskKind::Read, 0, 1),
+        ]);
+        assert_eq!(tl.count_kind(TaskKind::Parse), 2);
+        assert_eq!(tl.count_kind(TaskKind::Compare), 0);
+    }
+}

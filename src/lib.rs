@@ -1,0 +1,61 @@
+//! # Rocket — efficient and scalable all-pairs computations
+//!
+//! A Rust reproduction of *"Rocket: Efficient and Scalable All-Pairs
+//! Computations on Heterogeneous Platforms"* (Heldens et al., SC 2020).
+//!
+//! All-pairs compute problems evaluate a user-defined function
+//! `f(ℓ(i), ℓ(j))` for every pair `1 ≤ i < j ≤ n` of a data set, where `ℓ`
+//! loads and pre-processes item `i`. Rocket executes such problems on
+//! (heterogeneous, multi-GPU, multi-node) platforms with:
+//!
+//! * a three-level software cache (device → host → distributed) maximizing
+//!   reuse of expensive loads,
+//! * divide-and-conquer decomposition of the pair triangle with hierarchical
+//!   random work-stealing for dynamic load balance,
+//! * fully asynchronous processing: one thread class per resource so I/O,
+//!   transfers, and kernels overlap.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the framework: [`core::Application`] trait, runtime, config |
+//! | [`apps`] | forensics / bioinformatics / microscopy applications |
+//! | [`cache`] | slot caches and the distributed cache directory |
+//! | [`steal`] | quadrant decomposition + work-stealing scheduler |
+//! | [`comm`] | in-process cluster transport |
+//! | [`gpu`] | virtual GPU device model |
+//! | [`storage`] | object storage substrate |
+//! | [`sim`] | discrete-event cluster simulator + performance model |
+//! | [`trace`] | task tracing, timelines, throughput series |
+//! | [`stats`] | deterministic RNG, distributions, summaries |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete runnable program; the short
+//! version:
+//!
+//! ```
+//! use rocket::core::RocketConfig;
+//! // A complete application walk-through lives in examples/quickstart.rs;
+//! // here we only show that the config builder composes.
+//! let config = RocketConfig::builder()
+//!     .devices(1)
+//!     .host_cache_slots(64)
+//!     .device_cache_slots(16)
+//!     .concurrent_job_limit(32)
+//!     .build();
+//! assert_eq!(config.devices.len(), 1);
+//! assert_eq!(config.host_cache_slots, 64);
+//! ```
+
+pub use rocket_apps as apps;
+pub use rocket_cache as cache;
+pub use rocket_comm as comm;
+pub use rocket_core as core;
+pub use rocket_gpu as gpu;
+pub use rocket_sim as sim;
+pub use rocket_stats as stats;
+pub use rocket_steal as steal;
+pub use rocket_storage as storage;
+pub use rocket_trace as trace;

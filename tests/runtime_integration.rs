@@ -1,0 +1,261 @@
+//! Integration tests spanning the whole stack: real applications executed
+//! through the threaded runtime, single- and multi-node, validated against
+//! sequential oracles and generator ground truth.
+
+use std::sync::Arc;
+
+use rocket::apps::{
+    BioApp, BioConfig, BioDataset, ForensicsApp, ForensicsConfig, ForensicsDataset,
+    MicroscopyApp, MicroscopyConfig, MicroscopyDataset,
+};
+use rocket::core::{Application, Pair, Rocket, RocketConfig, RunReport};
+use rocket::storage::{FaultStore, MemStore, ObjectStore};
+
+fn small_config() -> RocketConfig {
+    RocketConfig::builder()
+        .devices(1)
+        .device_cache_slots(8)
+        .host_cache_slots(16)
+        .concurrent_job_limit(6)
+        .cpu_threads(2)
+        .build()
+}
+
+/// Sequential oracle: run the application's stages directly, no runtime.
+fn oracle<A: Application>(app: &A, store: &dyn ObjectStore) -> Vec<(Pair, A::Output)> {
+    let n = app.item_count();
+    let mut items = Vec::new();
+    for i in 0..n {
+        let raw = store.read(&app.file_for(i)).expect("oracle read");
+        let mut parsed = vec![0u8; app.parsed_bytes()];
+        app.parse(i, &raw, &mut parsed).expect("oracle parse");
+        if app.has_preprocess() {
+            let mut item = vec![0u8; app.item_bytes()];
+            app.preprocess(i, &parsed, &mut item).expect("oracle preprocess");
+            items.push(item);
+        } else {
+            parsed.resize(app.item_bytes(), 0);
+            items.push(parsed);
+        }
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut result = vec![0u8; app.result_bytes()];
+            app.compare((i, &items[i as usize]), (j, &items[j as usize]), &mut result)
+                .expect("oracle compare");
+            let pair = Pair::new(i, j);
+            out.push((pair, app.postprocess(pair, &result)));
+        }
+    }
+    out
+}
+
+fn assert_outputs_match_oracle<O: PartialEq + std::fmt::Debug>(
+    report: &RunReport<O>,
+    oracle: &[(Pair, O)],
+) {
+    assert!(report.failed().is_empty(), "failed pairs: {:?}", report.failed());
+    let got = report.sorted_outputs();
+    assert_eq!(got.len(), oracle.len(), "pair count mismatch");
+    for (g, o) in got.iter().zip(oracle) {
+        assert_eq!(g.0, o.0, "pair order mismatch");
+        assert!(g.1 == o.1, "output mismatch at {:?}: {:?} vs {:?}", g.0, g.1, o.1);
+    }
+}
+
+#[test]
+fn forensics_matches_sequential_oracle() {
+    let cfg = ForensicsConfig { images: 14, cameras: 3, width: 48, height: 48, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let app = ForensicsApp::new(&cfg);
+    let expected = oracle(&app, &ds.store);
+    let report = Rocket::new(small_config())
+        .run(Arc::new(app), Arc::new(ds.store))
+        .expect("run");
+    assert_outputs_match_oracle(&report, &expected);
+    assert_eq!(report.outputs.len(), 14 * 13 / 2);
+}
+
+#[test]
+fn bioinformatics_matches_sequential_oracle() {
+    let cfg = BioConfig { species: 12, clusters: 3, proteome_len: 2000, ..Default::default() };
+    let ds = BioDataset::generate(cfg.clone());
+    let app = BioApp::new(&cfg);
+    let expected = oracle(&app, &ds.store);
+    let report = Rocket::new(small_config())
+        .run(Arc::new(app), Arc::new(ds.store))
+        .expect("run");
+    assert_outputs_match_oracle(&report, &expected);
+    // Distances are symmetric-by-construction and in [0, 1].
+    for &(_, d) in report.sorted_outputs().into_iter() {
+        assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+#[test]
+fn microscopy_runs_without_preprocess_stage() {
+    let cfg = MicroscopyConfig { particles: 8, ..Default::default() };
+    let ds = MicroscopyDataset::generate(cfg.clone());
+    let app = MicroscopyApp::new(&cfg);
+    let expected = oracle(&app, &ds.store);
+    let report = Rocket::new(small_config())
+        .run(Arc::new(app), Arc::new(ds.store))
+        .expect("run");
+    assert_outputs_match_oracle(&report, &expected);
+}
+
+#[test]
+fn multi_node_cluster_produces_identical_results() {
+    let cfg = ForensicsConfig { images: 12, cameras: 3, width: 32, height: 32, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let app = ForensicsApp::new(&cfg);
+    let expected = oracle(&app, &ds.store);
+    // Three nodes, tiny caches, distributed cache on.
+    let node_cfg = RocketConfig::builder()
+        .devices(1)
+        .device_cache_slots(6)
+        .host_cache_slots(8)
+        .concurrent_job_limit(4)
+        .distributed_cache(true)
+        .build();
+    let report = Rocket::run_cluster(
+        Arc::new(app),
+        Arc::new(ds.store),
+        vec![node_cfg.clone(), node_cfg.clone(), node_cfg],
+    )
+    .expect("cluster run");
+    assert_outputs_match_oracle(&report, &expected);
+    assert_eq!(report.nodes.len(), 3);
+    // All nodes participated.
+    let active = report
+        .steal
+        .pairs_per_worker
+        .iter()
+        .filter(|&&c| c > 0)
+        .count();
+    assert!(active >= 2, "workers: {:?}", report.steal.pairs_per_worker);
+}
+
+#[test]
+fn distributed_cache_reduces_cluster_loads() {
+    let cfg = ForensicsConfig { images: 16, cameras: 4, width: 32, height: 32, ..Default::default() };
+    let make = |dist: bool| {
+        let ds = ForensicsDataset::generate(cfg.clone());
+        let app = ForensicsApp::new(&cfg);
+        let node_cfg = RocketConfig::builder()
+            .devices(1)
+            .device_cache_slots(8)
+            .host_cache_slots(16) // whole set fits per node
+            .concurrent_job_limit(4)
+            .distributed_cache(dist)
+            .build();
+        Rocket::run_cluster(
+            Arc::new(app),
+            Arc::new(ds.store),
+            vec![node_cfg.clone(), node_cfg.clone(), node_cfg.clone(), node_cfg],
+        )
+        .expect("cluster run")
+    };
+    let with = make(true);
+    let without = make(false);
+    assert!(with.failed().is_empty() && without.failed().is_empty());
+    assert!(
+        with.total_loads() < without.total_loads(),
+        "distributed cache must reduce loads: {} vs {}",
+        with.total_loads(),
+        without.total_loads()
+    );
+    assert!(with.total_remote_fetches() > 0);
+    assert_eq!(without.total_remote_fetches(), 0);
+}
+
+#[test]
+fn transient_storage_faults_are_retried() {
+    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let app = ForensicsApp::new(&cfg);
+    let expected = oracle(&app, &ds.store);
+    // Every 5th read fails; io_retries handles it transparently.
+    let flaky = FaultStore::every(ds.store, 5);
+    let config = RocketConfig::builder()
+        .devices(1)
+        .device_cache_slots(4)
+        .host_cache_slots(8)
+        .concurrent_job_limit(4)
+        .io_retries(3)
+        .build();
+    let report = Rocket::new(config)
+        .run(Arc::new(app), Arc::new(flaky))
+        .expect("run");
+    assert_outputs_match_oracle(&report, &expected);
+}
+
+#[test]
+fn missing_files_fail_only_dependent_pairs() {
+    // Item 3's file is absent: the 7 pairs touching it fail, the rest run.
+    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let partial = MemStore::new();
+    for key in ds.store.list() {
+        if key != ForensicsDataset::key(3) {
+            partial.put(key.clone(), ds.store.read(&key).unwrap());
+        }
+    }
+    let config = RocketConfig::builder()
+        .devices(1)
+        .device_cache_slots(4)
+        .host_cache_slots(8)
+        .concurrent_job_limit(4)
+        .io_retries(1)
+        .max_item_failures(2)
+        .build();
+    let report = Rocket::new(config)
+        .run(Arc::new(ForensicsApp::new(&cfg)), Arc::new(partial))
+        .expect("run");
+    assert_eq!(report.failed().len(), 7, "failed: {:?}", report.failed());
+    assert!(report.failed().iter().all(|(p, _)| p.left == 3 || p.right == 3));
+    assert_eq!(report.outputs.len(), 8 * 7 / 2 - 7);
+}
+
+#[test]
+fn tracing_captures_all_pipeline_stages() {
+    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let report = Rocket::new(small_config())
+        .run(Arc::new(ForensicsApp::new(&cfg)), Arc::new(ds.store))
+        .expect("run");
+    let timeline = report.timeline();
+    use rocket::trace::TaskKind;
+    assert_eq!(report.outputs.len(), 28);
+    assert_eq!(timeline.count_kind(TaskKind::Compare), 28);
+    assert_eq!(timeline.count_kind(TaskKind::Postprocess), 28);
+    assert!(timeline.count_kind(TaskKind::Read) >= 8);
+    assert!(timeline.count_kind(TaskKind::Parse) >= 8);
+    assert!(timeline.count_kind(TaskKind::Preprocess) >= 8);
+    assert!(!timeline.has_lane_overlap(), "same-lane spans overlap");
+    // Chrome export is well-formed and non-trivial.
+    let json = rocket::trace::chrome::to_chrome_json(timeline.spans());
+    assert!(json.len() > 100);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+}
+
+#[test]
+fn tiny_caches_still_complete() {
+    // Stress the back-pressure/livelock protections: minimum legal caches.
+    let cfg = ForensicsConfig { images: 10, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let config = RocketConfig::builder()
+        .devices(1)
+        .device_cache_slots(2)
+        .host_cache_slots(2)
+        .concurrent_job_limit(8)
+        .build();
+    let report = Rocket::new(config)
+        .run(Arc::new(ForensicsApp::new(&cfg)), Arc::new(ds.store))
+        .expect("run");
+    assert!(report.failed().is_empty());
+    assert_eq!(report.outputs.len(), 45);
+    // With 2 slots, items are reloaded constantly.
+    assert!(report.r_factor() > 2.0, "R = {}", report.r_factor());
+}

@@ -1,0 +1,143 @@
+//! Integration tests of the simulator against the paper's performance
+//! model and headline claims (shape, not absolute numbers).
+
+use rocket::apps::profiles;
+use rocket::gpu::DeviceProfile;
+use rocket::sim::{model, simulate, SimConfig, SimNodeConfig};
+
+fn scaled_forensics() -> rocket::apps::WorkloadProfile {
+    profiles::forensics().scaled(40)
+}
+
+fn das5_node(w: &rocket::apps::WorkloadProfile, scale: u64) -> SimNodeConfig {
+    let slots = |gb: f64| ((gb * 1e9 / w.item_bytes as f64 / scale as f64) as usize).max(2);
+    SimNodeConfig {
+        gpus: vec![DeviceProfile::titanx_maxwell()],
+        device_slots: slots(11.0),
+        host_slots: slots(40.0),
+    }
+}
+
+#[test]
+fn perfect_cache_meets_model_lower_bound() {
+    for w in profiles::all() {
+        let w = w.scaled(40);
+        let node = SimNodeConfig::uniform(1, w.items as usize, w.items as usize);
+        let r = simulate(&SimConfig::cluster(w.clone(), vec![node]));
+        assert!((r.r_factor() - 1.0).abs() < 1e-9, "{}: R != 1", w.name);
+        let tmin = model::t_min(&w);
+        let ratio = r.makespan / tmin;
+        assert!(
+            (0.95..1.2).contains(&ratio),
+            "{}: makespan {} vs T_min {tmin} (ratio {ratio})",
+            w.name,
+            r.makespan
+        );
+    }
+}
+
+#[test]
+fn super_linear_speedup_with_distributed_cache() {
+    // The paper's headline (Fig 12): forensics on 16 nodes is super-linear
+    // with the distributed cache, sub-linear without.
+    let scale = 40;
+    let w = scaled_forensics();
+    let node = das5_node(&w, scale);
+    let run = |nodes: usize, dist: bool| {
+        let mut cfg = SimConfig::cluster(w.clone(), vec![node.clone(); nodes]);
+        cfg.distributed_cache = dist;
+        simulate(&cfg)
+    };
+    let t1 = run(1, true);
+    let on = run(8, true);
+    let off = run(8, false);
+    let speedup_on = t1.makespan / on.makespan;
+    let speedup_off = t1.makespan / off.makespan;
+    assert!(
+        speedup_on > 8.0,
+        "expected super-linear speedup with distributed cache, got {speedup_on:.2}"
+    );
+    assert!(speedup_on > speedup_off, "{speedup_on} vs {speedup_off}");
+    // R falls with the distributed cache, grows without it.
+    assert!(on.r_factor() < t1.r_factor());
+    assert!(off.r_factor() >= t1.r_factor() * 0.95);
+    // I/O pressure is much lower with the distributed cache.
+    assert!(on.io_bytes < off.io_bytes);
+}
+
+#[test]
+fn heterogeneous_cluster_is_balanced() {
+    // §6.5: combined heterogeneous nodes reach at least the sum of parts,
+    // and each GPU's share tracks its relative speed.
+    let w = profiles::microscopy().scaled(2);
+    let slots = w.items as usize;
+    let mk = |gpus: Vec<DeviceProfile>| SimNodeConfig {
+        gpus,
+        device_slots: slots,
+        host_slots: slots,
+    };
+    let nodes = vec![
+        mk(vec![DeviceProfile::k20m()]),
+        mk(vec![DeviceProfile::rtx2080ti(), DeviceProfile::rtx2080ti()]),
+    ];
+    let mut sum = 0.0;
+    for n in &nodes {
+        sum += simulate(&SimConfig::cluster(w.clone(), vec![n.clone()])).throughput();
+    }
+    let all = simulate(&SimConfig::cluster(w.clone(), nodes));
+    assert!(
+        all.throughput() > 0.9 * sum,
+        "combined {:.1} pairs/s vs sum {sum:.1}",
+        all.throughput()
+    );
+    // Node II (2× RTX) must do far more pairs than node I (1× K20m).
+    assert!(all.pairs_per_node[1] > 3 * all.pairs_per_node[0]);
+}
+
+#[test]
+fn hop_distribution_dominated_by_first_hop() {
+    let scale = 40;
+    let w = scaled_forensics();
+    let mut cfg = SimConfig::cluster(w.clone(), vec![das5_node(&w, scale); 8]);
+    cfg.hops = 3;
+    let r = simulate(&cfg);
+    let lookups = r.directory.lookups();
+    assert!(lookups > 0);
+    let hop1 = r.directory.hits_at_hop.first().copied().unwrap_or(0);
+    let later: u64 = r.directory.hits_at_hop.iter().skip(1).sum();
+    assert!(
+        hop1 > 3 * later,
+        "first hop {hop1} vs later hops {later} of {lookups}"
+    );
+}
+
+#[test]
+fn r_factor_decreases_with_cluster_size() {
+    // Fig 15's driving effect: more nodes → larger combined cache → lower R.
+    let scale = 40;
+    let w = profiles::bioinformatics_large().scaled(scale);
+    let slots = |gb: f64| ((gb * 1e9 / w.item_bytes as f64 / scale as f64) as usize).max(2);
+    let node = SimNodeConfig {
+        gpus: vec![DeviceProfile::k40m(), DeviceProfile::k40m()],
+        device_slots: slots(11.0),
+        host_slots: slots(80.0),
+    };
+    let r_of = |p: usize| simulate(&SimConfig::cluster(w.clone(), vec![node.clone(); p])).r_factor();
+    let r1 = r_of(1);
+    let r4 = r_of(4);
+    let r8 = r_of(8);
+    assert!(r1 > r4 && r4 > r8, "R sequence {r1:.2} → {r4:.2} → {r8:.2} not decreasing");
+    assert!(r1 > 2.0, "single node should thrash: R = {r1:.2}");
+}
+
+#[test]
+fn simulator_is_deterministic_across_runs() {
+    let w = profiles::bioinformatics().scaled(40);
+    let cfg = SimConfig::cluster(w.clone(), vec![das5_node(&w, 40); 4]);
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.loads, b.loads);
+    assert_eq!(a.io_bytes, b.io_bytes);
+    assert_eq!(a.pairs_per_node, b.pairs_per_node);
+}
