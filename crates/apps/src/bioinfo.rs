@@ -104,7 +104,11 @@ impl BioDataset {
             }
             store.put(Self::key(i), fasta.into_bytes());
         }
-        BioDataset { store, cluster_of, config }
+        BioDataset {
+            store,
+            cluster_of,
+            config,
+        }
     }
 }
 
@@ -138,7 +142,11 @@ pub fn composition_vector(codes: &[u8], k: usize) -> Vec<(u32, f32)> {
     };
     let f_k = count(k, dim_k);
     let f_k1 = count(k - 1, dim_k1);
-    let f_k2 = if k == 2 { Vec::new() } else { count(k - 2, dim_k2) };
+    let f_k2 = if k == 2 {
+        Vec::new()
+    } else {
+        count(k - 2, dim_k2)
+    };
 
     let mut out = Vec::new();
     for (idx, &f) in f_k.iter().enumerate() {
@@ -201,7 +209,11 @@ pub struct BioApp {
 impl BioApp {
     /// Creates the application for a data set generated with `config`.
     pub fn new(config: &BioConfig) -> Self {
-        Self { species: config.species, k: config.k, proteome_len: config.proteome_len }
+        Self {
+            species: config.species,
+            k: config.k,
+            proteome_len: config.proteome_len,
+        }
     }
 
     fn max_entries(&self) -> usize {
@@ -215,8 +227,7 @@ impl BioApp {
         for e in 0..n {
             let o = 4 + e * 8;
             let key = u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
-            let val =
-                f32::from_le_bytes([buf[o + 4], buf[o + 5], buf[o + 6], buf[o + 7]]);
+            let val = f32::from_le_bytes([buf[o + 4], buf[o + 5], buf[o + 6], buf[o + 7]]);
             out.push((key, val));
         }
         out
@@ -353,7 +364,12 @@ mod tests {
     }
 
     fn small() -> (BioDataset, BioApp) {
-        let config = BioConfig { species: 12, clusters: 3, proteome_len: 3000, ..Default::default() };
+        let config = BioConfig {
+            species: 12,
+            clusters: 3,
+            proteome_len: 3000,
+            ..Default::default()
+        };
         let app = BioApp::new(&config);
         (BioDataset::generate(config), app)
     }
@@ -456,7 +472,11 @@ mod tests {
     fn vector_sparsity_is_irregular() {
         // The paper calls this workload irregular because CV sizes differ;
         // verify the synthetic data reproduces that.
-        let config = BioConfig { species: 6, proteome_len: 2000, ..Default::default() };
+        let config = BioConfig {
+            species: 6,
+            proteome_len: 2000,
+            ..Default::default()
+        };
         let app = BioApp::new(&config);
         let ds = BioDataset::generate(config);
         let sizes: Vec<usize> = (0..6).map(|i| cv_of(&ds, &app, i).len()).collect();

@@ -105,15 +105,14 @@ impl ForensicsDataset {
             for y in 0..h {
                 for x in 0..w {
                     let idx = y * w + x;
-                    let mut scene = 0.35
-                        + 0.3 * (gx * x as f32 / w as f32 + gy * y as f32 / h as f32);
+                    let mut scene =
+                        0.35 + 0.3 * (gx * x as f32 / w as f32 + gy * y as f32 / h as f32);
                     let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
                     if d2 < brad * brad {
                         scene += 0.25 * (1.0 - d2 / (brad * brad));
                     }
                     // PRNU is multiplicative sensor noise.
-                    let noise =
-                        (rng.f64() as f32 * 2.0 - 1.0) * config.readout_noise;
+                    let noise = (rng.f64() as f32 * 2.0 - 1.0) * config.readout_noise;
                     let value = scene * (1.0 + prnu[cam][idx]) + noise;
                     pixels[idx] = (value.clamp(0.0, 1.0) * 255.0) as u8;
                 }
@@ -125,7 +124,11 @@ impl ForensicsDataset {
             file.extend_from_slice(&pixels);
             store.put(Self::key(i), file);
         }
-        ForensicsDataset { store, camera_of, config }
+        ForensicsDataset {
+            store,
+            camera_of,
+            config,
+        }
     }
 }
 
@@ -139,7 +142,11 @@ pub struct ForensicsApp {
 impl ForensicsApp {
     /// Creates the application for a data set generated with `config`.
     pub fn new(config: &ForensicsConfig) -> Self {
-        Self { images: config.images, width: config.width, height: config.height }
+        Self {
+            images: config.images,
+            width: config.width,
+            height: config.height,
+        }
     }
 
     fn pixels(&self) -> usize {
@@ -217,19 +224,28 @@ impl Application for ForensicsApp {
 
     fn parse(&self, item: ItemId, raw: &[u8], out: &mut [u8]) -> Result<(), AppError> {
         if raw.len() < 16 || &raw[..8] != MAGIC {
-            return Err(AppError::new("parse", format!("item {item}: bad image magic")));
+            return Err(AppError::new(
+                "parse",
+                format!("item {item}: bad image magic"),
+            ));
         }
         let w = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]) as usize;
         let h = u32::from_le_bytes([raw[12], raw[13], raw[14], raw[15]]) as usize;
         if w != self.width || h != self.height {
             return Err(AppError::new(
                 "parse",
-                format!("item {item}: dimensions {w}x{h}, expected {}x{}", self.width, self.height),
+                format!(
+                    "item {item}: dimensions {w}x{h}, expected {}x{}",
+                    self.width, self.height
+                ),
             ));
         }
         let pixels = &raw[16..];
         if pixels.len() != w * h {
-            return Err(AppError::new("parse", format!("item {item}: truncated pixel data")));
+            return Err(AppError::new(
+                "parse",
+                format!("item {item}: truncated pixel data"),
+            ));
         }
         let gray: Vec<f32> = pixels.iter().map(|&p| p as f32 / 255.0).collect();
         bytesutil::write_f32(out, &gray);
@@ -303,7 +319,10 @@ mod tests {
 
     #[test]
     fn dataset_is_deterministic() {
-        let c = ForensicsConfig { images: 4, ..Default::default() };
+        let c = ForensicsConfig {
+            images: 4,
+            ..Default::default()
+        };
         let a = ForensicsDataset::generate(c.clone());
         let b = ForensicsDataset::generate(c);
         assert_eq!(a.camera_of, b.camera_of);
@@ -371,7 +390,7 @@ mod tests {
         wrong_dims.extend_from_slice(MAGIC);
         wrong_dims.extend_from_slice(&10u32.to_le_bytes());
         wrong_dims.extend_from_slice(&10u32.to_le_bytes());
-        wrong_dims.extend_from_slice(&vec![0u8; 100]);
+        wrong_dims.extend_from_slice(&[0u8; 100]);
         assert!(app.parse(0, &wrong_dims, &mut out).is_err());
     }
 

@@ -113,7 +113,10 @@ impl Json {
 
     /// Parses a JSON document (requires full consumption of the input).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -135,7 +138,10 @@ pub struct JsonError {
 
 impl JsonError {
     fn at(pos: usize, message: impl Into<String>) -> Self {
-        Self { pos, message: message.into() }
+        Self {
+            pos,
+            message: message.into(),
+        }
     }
 }
 
@@ -191,7 +197,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(JsonError::at(self.pos, format!("unexpected '{}'", c as char))),
+            Some(c) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected '{}'", c as char),
+            )),
             None => Err(JsonError::at(self.pos, "unexpected end of input")),
         }
     }

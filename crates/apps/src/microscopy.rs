@@ -103,8 +103,9 @@ impl MicroscopyDataset {
                 // golden-angle spacing would alias poses by one anchor
                 // step), so every particle's ground-truth pose is uniquely
                 // recoverable.
-                let mut bearings: Vec<f64> =
-                    (0..config.anchors).map(|_| rng.f64() * std::f64::consts::TAU).collect();
+                let mut bearings: Vec<f64> = (0..config.anchors)
+                    .map(|_| rng.f64() * std::f64::consts::TAU)
+                    .collect();
                 bearings.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 bearings
                     .iter()
@@ -125,8 +126,7 @@ impl MicroscopyDataset {
             let theta = rng.f64() * std::f64::consts::TAU;
             structure_of.push(s);
             rotation_of.push(theta);
-            let count = config.points_min
-                + rng.below(config.points_max - config.points_min + 1);
+            let count = config.points_min + rng.below(config.points_max - config.points_min + 1);
             let (sin, cos) = theta.sin_cos();
             let mut points = Vec::with_capacity(count);
             // Under-labelling: each anchor visible with probability
@@ -134,8 +134,7 @@ impl MicroscopyDataset {
             let visible: Vec<bool> = (0..config.anchors)
                 .map(|_| rng.chance(config.labelling))
                 .collect();
-            let visible_anchors: Vec<usize> =
-                (0..config.anchors).filter(|&a| visible[a]).collect();
+            let visible_anchors: Vec<usize> = (0..config.anchors).filter(|&a| visible[a]).collect();
             for _ in 0..count {
                 let &a = if visible_anchors.is_empty() {
                     &0
@@ -155,9 +154,17 @@ impl MicroscopyDataset {
             let mut obj = std::collections::BTreeMap::new();
             obj.insert("points".to_string(), Json::Arr(points));
             obj.insert("particle".to_string(), Json::Num(i as f64));
-            store.put(Self::key(i), Json::Obj(obj).to_string_compact().into_bytes());
+            store.put(
+                Self::key(i),
+                Json::Obj(obj).to_string_compact().into_bytes(),
+            );
         }
-        MicroscopyDataset { store, structure_of, rotation_of, config }
+        MicroscopyDataset {
+            store,
+            structure_of,
+            rotation_of,
+            config,
+        }
     }
 }
 
@@ -315,7 +322,10 @@ pub fn register(
     let spread = if xs.is_empty() {
         1.0
     } else {
-        (xs.iter().map(|p| (p.0 as f64).hypot(p.1 as f64)).sum::<f64>() / xs.len() as f64)
+        (xs.iter()
+            .map(|p| (p.0 as f64).hypot(p.1 as f64))
+            .sum::<f64>()
+            / xs.len() as f64)
             .max(1e-6)
     };
     // Annealed bandwidth: the rotation basin (≈ sigma/spread radians) must
@@ -331,7 +341,11 @@ pub fn register(
 
     let cell = tau / steps as f64;
     let phi = (5.0f64.sqrt() - 1.0) / 2.0;
-    let mut best = Registration { score: f64::NEG_INFINITY, rotation: 0.0, evaluations: 0 };
+    let mut best = Registration {
+        score: f64::NEG_INFINITY,
+        rotation: 0.0,
+        evaluations: 0,
+    };
     for &(_, seed_theta) in grid.iter().take(3) {
         // Alternate translation EM and golden-section rotation refinement.
         let mut t = (0.0f64, 0.0f64);
@@ -364,7 +378,11 @@ pub fn register(
         evaluations += 1;
         let score = score_of(&translate(&rotate(&xs, theta), t), sigma);
         if score > best.score {
-            best = Registration { score, rotation: theta.rem_euclid(tau), evaluations: 0 };
+            best = Registration {
+                score,
+                rotation: theta.rem_euclid(tau),
+                evaluations: 0,
+            };
         }
     }
     best.evaluations = evaluations;
@@ -454,7 +472,11 @@ impl Application for MicroscopyApp {
         if points.len() > self.max_points {
             return Err(AppError::new(
                 "parse",
-                format!("particle {item}: {} points exceeds max {}", points.len(), self.max_points),
+                format!(
+                    "particle {item}: {} points exceeds max {}",
+                    points.len(),
+                    self.max_points
+                ),
             ));
         }
         out[..4].copy_from_slice(&(points.len() as u32).to_le_bytes());
@@ -463,12 +485,14 @@ impl Application for MicroscopyApp {
                 .as_arr()
                 .filter(|c| c.len() == 2)
                 .ok_or_else(|| AppError::new("parse", format!("particle {item}: bad point {p}")))?;
-            let x = coords[0].as_f64().ok_or_else(|| {
-                AppError::new("parse", format!("particle {item}: non-numeric x"))
-            })? as f32;
-            let y = coords[1].as_f64().ok_or_else(|| {
-                AppError::new("parse", format!("particle {item}: non-numeric y"))
-            })? as f32;
+            let x = coords[0]
+                .as_f64()
+                .ok_or_else(|| AppError::new("parse", format!("particle {item}: non-numeric x")))?
+                as f32;
+            let y = coords[1]
+                .as_f64()
+                .ok_or_else(|| AppError::new("parse", format!("particle {item}: non-numeric y")))?
+                as f32;
             let o = 4 + p * 8;
             out[o..o + 4].copy_from_slice(&x.to_le_bytes());
             out[o + 4..o + 8].copy_from_slice(&y.to_le_bytes());
@@ -513,7 +537,10 @@ mod tests {
     }
 
     fn small() -> (MicroscopyDataset, MicroscopyApp) {
-        let config = MicroscopyConfig { particles: 8, ..Default::default() };
+        let config = MicroscopyConfig {
+            particles: 8,
+            ..Default::default()
+        };
         let app = MicroscopyApp::new(&config);
         (MicroscopyDataset::generate(config), app)
     }
@@ -541,8 +568,12 @@ mod tests {
 
     #[test]
     fn scores_are_symmetric() {
-        let a: Vec<(f32, f32)> = (0..20).map(|i| (i as f32 * 0.3, (i as f32 * 0.11).sin())).collect();
-        let b: Vec<(f32, f32)> = (0..25).map(|i| ((i as f32 * 0.21).cos(), i as f32 * 0.2)).collect();
+        let a: Vec<(f32, f32)> = (0..20)
+            .map(|i| (i as f32 * 0.3, (i as f32 * 0.11).sin()))
+            .collect();
+        let b: Vec<(f32, f32)> = (0..25)
+            .map(|i| ((i as f32 * 0.21).cos(), i as f32 * 0.2))
+            .collect();
         for sigma in [0.05, 0.2] {
             assert!((gmm_l2_score(&a, &b, sigma) - gmm_l2_score(&b, &a, sigma)).abs() < 1e-12);
             assert!(
@@ -651,7 +682,9 @@ mod tests {
         assert!(app.parse(0, b"not json", &mut out).is_err());
         assert!(app.parse(0, b"{\"nopoints\": 1}", &mut out).is_err());
         assert!(app.parse(0, b"{\"points\": [[1]]}", &mut out).is_err());
-        assert!(app.parse(0, b"{\"points\": [[1, \"x\"]]}", &mut out).is_err());
+        assert!(app
+            .parse(0, b"{\"points\": [[1, \"x\"]]}", &mut out)
+            .is_err());
     }
 
     #[test]
@@ -678,6 +711,9 @@ mod tests {
             let ys = points_of(&ds, &app, j);
             counts.insert(xs.len() * ys.len());
         }
-        assert!(counts.len() > 1, "point-count products identical: {counts:?}");
+        assert!(
+            counts.len() > 1,
+            "point-count products identical: {counts:?}"
+        );
     }
 }

@@ -109,24 +109,28 @@ pub fn upgma(n: usize, dist: &[f64]) -> Tree {
     while nodes.len() > 1 {
         // Find the closest active pair.
         let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
-        for i in 0..nodes.len() {
-            for j in (i + 1)..nodes.len() {
-                if d[i][j] < best {
-                    (bi, bj, best) = (i, j, d[i][j]);
+        for (i, row) in d.iter().enumerate().take(nodes.len()) {
+            for (j, &dij) in row.iter().enumerate().take(nodes.len()).skip(i + 1) {
+                if dij < best {
+                    (bi, bj, best) = (i, j, dij);
                 }
             }
         }
         let (ida, ca) = nodes[bi];
         let (idb, cb) = nodes[bj];
         let new_id = n + merges.len();
-        merges.push(Merge { a: ida, b: idb, height: best / 2.0 });
+        merges.push(Merge {
+            a: ida,
+            b: idb,
+            height: best / 2.0,
+        });
         // UPGMA update: weighted average of the merged rows.
         let mut new_row: Vec<f64> = Vec::with_capacity(nodes.len() - 1);
-        for k in 0..nodes.len() {
+        for (k, (&da, &db)) in d[bi].iter().zip(&d[bj]).enumerate().take(nodes.len()) {
             if k == bi || k == bj {
                 continue;
             }
-            new_row.push((d[bi][k] * ca as f64 + d[bj][k] * cb as f64) / (ca + cb) as f64);
+            new_row.push((da * ca as f64 + db * cb as f64) / (ca + cb) as f64);
         }
         // Remove bj then bi (bj > bi) from both axes, then append the row.
         for row in &mut d {
@@ -153,7 +157,10 @@ pub fn neighbor_joining(n: usize, dist: &[f64]) -> Tree {
     assert!(n >= 1);
     assert_eq!(dist.len(), n * (n - 1) / 2, "condensed matrix size");
     if n == 1 {
-        return Tree { leaves: 1, merges: Vec::new() };
+        return Tree {
+            leaves: 1,
+            merges: Vec::new(),
+        };
     }
     let mut nodes: Vec<usize> = (0..n).collect();
     let mut d: Vec<Vec<f64>> = (0..n)
@@ -183,7 +190,11 @@ pub fn neighbor_joining(n: usize, dist: &[f64]) -> Tree {
             }
         }
         let new_id = n + merges.len();
-        merges.push(Merge { a: nodes[bi], b: nodes[bj], height: d[bi][bj] / 2.0 });
+        merges.push(Merge {
+            a: nodes[bi],
+            b: nodes[bj],
+            height: d[bi][bj] / 2.0,
+        });
         // Distance from the new node to the rest.
         let mut new_row: Vec<f64> = Vec::with_capacity(m - 1);
         for k in 0..m {
@@ -208,7 +219,11 @@ pub fn neighbor_joining(n: usize, dist: &[f64]) -> Tree {
         nodes.push(new_id);
     }
     if nodes.len() == 2 {
-        merges.push(Merge { a: nodes[0], b: nodes[1], height: d[0][1] / 2.0 });
+        merges.push(Merge {
+            a: nodes[0],
+            b: nodes[1],
+            height: d[0][1] / 2.0,
+        });
     }
     Tree { leaves: n, merges }
 }
@@ -253,9 +268,7 @@ mod tests {
         let tree = upgma(4, &d);
         assert_eq!(tree.merges.len(), 3);
         // First two merges join {0,1} and {2,3} at height 1.
-        let first_two: Vec<Vec<usize>> = (0..2)
-            .map(|k| tree.leaves_under(4 + k))
-            .collect();
+        let first_two: Vec<Vec<usize>> = (0..2).map(|k| tree.leaves_under(4 + k)).collect();
         assert!(first_two.contains(&vec![0, 1]));
         assert!(first_two.contains(&vec![2, 3]));
         assert!((tree.merges[0].height - 1.0).abs() < 1e-12);
@@ -329,7 +342,10 @@ mod tests {
         let d = condensed(6, |i, j| ((i + 1) * (j + 2) % 7 + 1) as f64);
         let tree = upgma(6, &d);
         for w in tree.merges.windows(2) {
-            assert!(w[0].height <= w[1].height + 1e-12, "UPGMA heights must be monotone");
+            assert!(
+                w[0].height <= w[1].height + 1e-12,
+                "UPGMA heights must be monotone"
+            );
         }
     }
 }

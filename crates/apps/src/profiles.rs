@@ -76,7 +76,7 @@ pub fn forensics() -> WorkloadProfile {
     WorkloadProfile {
         name: "forensics",
         items: 4980,
-        file_bytes: 3_900_000, // 19.4 GB / 4980 files
+        file_bytes: 3_900_000,  // 19.4 GB / 4980 files
         item_bytes: 38_100_000, // Table 1 slot size 38.1 MB
         parse: Dist::normal_nonneg(130.8 * MS, 14.11 * MS),
         preprocess: Some(Dist::normal_nonneg(20.5 * MS, 0.02 * MS)),
@@ -126,7 +126,10 @@ pub fn microscopy() -> WorkloadProfile {
         item_bytes: 6_000,
         parse: Dist::normal_nonneg(27.4 * MS, 1.56 * MS),
         preprocess: None,
-        compare: Dist::LogNormal { mean: 564.3 * MS, std: 348.0 * MS },
+        compare: Dist::LogNormal {
+            mean: 564.3 * MS,
+            std: 348.0 * MS,
+        },
         postprocess: Dist::Constant(0.0),
         paper_device_slots: 256,
         paper_host_slots: 256,
@@ -190,7 +193,11 @@ mod tests {
         // The premise of the caching design (§4.1): loading an item costs
         // far more than one comparison for the data-intensive apps.
         for p in [forensics(), bioinformatics()] {
-            assert!(p.mean_load_seconds() > 10.0 * p.compare.mean(), "{}", p.name);
+            assert!(
+                p.mean_load_seconds() > 10.0 * p.compare.mean(),
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -214,6 +221,9 @@ mod tests {
     #[test]
     fn large_variant_has_more_items() {
         assert_eq!(bioinformatics_large().items, 6818);
-        assert_eq!(bioinformatics_large().item_bytes, bioinformatics().item_bytes);
+        assert_eq!(
+            bioinformatics_large().item_bytes,
+            bioinformatics().item_bytes
+        );
     }
 }

@@ -7,8 +7,13 @@ use rocket_storage::ObjectStore;
 fn scan() {
     for noise in [0.02f64, 0.04, 0.06] {
         let config = MicroscopyConfig {
-            particles: 10, structures: 1, labelling: 1.0, noise,
-            points_min: 80, points_max: 140, ..Default::default()
+            particles: 10,
+            structures: 1,
+            labelling: 1.0,
+            noise,
+            points_min: 80,
+            points_max: 140,
+            ..Default::default()
         };
         let app = MicroscopyApp::new(&config);
         let ds = MicroscopyDataset::generate(config.clone());
@@ -17,11 +22,15 @@ fn scan() {
             let mut parsed = vec![0u8; app.parsed_bytes()];
             app.parse(i, &raw, &mut parsed).unwrap();
             let n = u32::from_le_bytes(parsed[..4].try_into().unwrap()) as usize;
-            (0..n).map(|p| {
-                let o = 4 + p * 8;
-                (f32::from_le_bytes(parsed[o..o+4].try_into().unwrap()),
-                 f32::from_le_bytes(parsed[o+4..o+8].try_into().unwrap()))
-            }).collect::<Vec<_>>()
+            (0..n)
+                .map(|p| {
+                    let o = 4 + p * 8;
+                    (
+                        f32::from_le_bytes(parsed[o..o + 4].try_into().unwrap()),
+                        f32::from_le_bytes(parsed[o + 4..o + 8].try_into().unwrap()),
+                    )
+                })
+                .collect::<Vec<_>>()
         };
         let tau = std::f64::consts::TAU;
         for grid in [24usize, 48, 96] {
@@ -30,16 +39,22 @@ fn scan() {
                 let mut worst = 0.0f64;
                 let mut fails = 0;
                 for i in 0..10usize {
-                    for j in (i+1)..10 {
-                        let reg = register(&pts(i as u64), &pts(j as u64), Metric::GmmL2, grid, sigma);
+                    for j in (i + 1)..10 {
+                        let reg =
+                            register(&pts(i as u64), &pts(j as u64), Metric::GmmL2, grid, sigma);
                         let expected = (ds.rotation_of[j] - ds.rotation_of[i]).rem_euclid(tau);
                         let mut err = (reg.rotation - expected).abs();
                         err = err.min(tau - err);
                         worst = worst.max(err);
-                        if err > 0.15 { fails += 1; }
+                        if err > 0.15 {
+                            fails += 1;
+                        }
                     }
                 }
-                eprintln!("noise={noise} grid={grid} sigma={sigma:.3}: worst={:.1}deg fails={fails}/45", worst.to_degrees());
+                eprintln!(
+                    "noise={noise} grid={grid} sigma={sigma:.3}: worst={:.1}deg fails={fails}/45",
+                    worst.to_degrees()
+                );
             }
         }
     }

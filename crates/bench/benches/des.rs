@@ -46,21 +46,29 @@ fn bench_cluster(c: &mut Criterion) {
     let n = 96u64;
     group.throughput(Throughput::Elements(n * (n - 1) / 2));
     group.bench_function("single_node_n96", |b| {
-        let cfg = SimConfig::cluster(
-            toy_workload(n),
-            vec![SimNodeConfig::uniform(1, 32, 64)],
-        );
+        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(1, 32, 64)]);
         b.iter(|| simulate(black_box(&cfg)).pairs);
     });
     group.bench_function("four_nodes_n96_distcache", |b| {
-        let cfg = SimConfig::cluster(
-            toy_workload(n),
-            vec![SimNodeConfig::uniform(1, 16, 32); 4],
-        );
+        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(1, 16, 32); 4]);
         b.iter(|| simulate(black_box(&cfg)).pairs);
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_queue, bench_cluster);
+fn bench_large_cluster(c: &mut Criterion) {
+    // The scaling configuration the hot-path overhaul targets: 64 GPUs over
+    // 16 nodes, n=256 items (32 640 pairs), distributed cache on.
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let n = 256u64;
+    group.throughput(Throughput::Elements(n * (n - 1) / 2));
+    group.bench_function("sixteen_nodes_4gpu_n256_distcache", |b| {
+        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(4, 24, 96); 16]);
+        b.iter(|| simulate(black_box(&cfg)).pairs);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_cluster, bench_large_cluster);
 criterion_main!(benches);

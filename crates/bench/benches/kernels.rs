@@ -60,7 +60,15 @@ fn bench_microscopy(c: &mut Criterion) {
         b.iter(|| gmm_l2_score(black_box(&particle), black_box(&other), 0.1));
     });
     group.bench_function("register_grid24_100pts", |b| {
-        b.iter(|| register(black_box(&particle), black_box(&other), Metric::GmmL2, 24, 0.1));
+        b.iter(|| {
+            register(
+                black_box(&particle),
+                black_box(&other),
+                Metric::GmmL2,
+                24,
+                0.1,
+            )
+        });
     });
     group.finish();
 }

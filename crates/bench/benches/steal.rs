@@ -8,7 +8,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn bench_blocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("quadrant");
     group.bench_function("count_closed_form", |b| {
-        let block = Block { row_lo: 123, row_hi: 40_000, col_lo: 5_000, col_hi: 90_000 };
+        let block = Block {
+            row_lo: 123,
+            row_hi: 40_000,
+            col_lo: 5_000,
+            col_hi: 90_000,
+        };
         b.iter(|| black_box(block).count());
     });
     group.bench_function("split_root_4980", |b| {
@@ -47,7 +52,10 @@ fn bench_pool(c: &mut Criterion) {
             StealPool::run(
                 n,
                 &WorkerTopology::single_node(2),
-                &StealPoolConfig { leaf_pairs: 32, ..Default::default() },
+                &StealPoolConfig {
+                    leaf_pairs: 32,
+                    ..Default::default()
+                },
                 |_, _| {
                     count.fetch_add(1, Ordering::Relaxed);
                 },

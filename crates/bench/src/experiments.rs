@@ -80,7 +80,11 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { extra_scale: 1, out_dir: PathBuf::from("results"), seed: 0xC0FFEE }
+        Self {
+            extra_scale: 1,
+            out_dir: PathBuf::from("results"),
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -207,9 +211,26 @@ where
 }
 
 fn table1(opts: &ExpOptions) -> String {
-    let f_cfg = ForensicsConfig { images: 24, cameras: 4, width: 64, height: 64, seed: opts.seed, ..Default::default() };
-    let b_cfg = BioConfig { species: 16, clusters: 4, proteome_len: 3000, seed: opts.seed, ..Default::default() };
-    let m_cfg = MicroscopyConfig { particles: 12, seed: opts.seed, ..Default::default() };
+    let f_cfg = ForensicsConfig {
+        images: 24,
+        cameras: 4,
+        width: 64,
+        height: 64,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let b_cfg = BioConfig {
+        species: 16,
+        clusters: 4,
+        proteome_len: 3000,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let m_cfg = MicroscopyConfig {
+        particles: 12,
+        seed: opts.seed,
+        ..Default::default()
+    };
 
     let mut runs = Vec::new();
     {
@@ -237,21 +258,28 @@ fn table1(opts: &ExpOptions) -> String {
         "bioinformatics",
         "microscopy",
     ]);
-    let col = |f: &dyn Fn(&AppRun) -> String| -> Vec<String> {
-        runs.iter().map(|r| f(r)).collect()
-    };
+    let col = |f: &dyn Fn(&AppRun) -> String| -> Vec<String> { runs.iter().map(f).collect() };
     let mut push = |label: &str, f: &dyn Fn(&AppRun) -> String| {
         let vals = col(f);
-        t.row(vec![label.to_string(), vals[0].clone(), vals[1].clone(), vals[2].clone()]);
+        t.row(vec![
+            label.to_string(),
+            vals[0].clone(),
+            vals[1].clone(),
+            vals[2].clone(),
+        ]);
     };
     push("no. of input files (n)", &|r| r.items.to_string());
     push("raw data on disk", &|r| fmt_bytes(r.raw_bytes));
-    push("preprocessed in memory", &|r| fmt_bytes(r.items * r.item_bytes));
+    push("preprocessed in memory", &|r| {
+        fmt_bytes(r.items * r.item_bytes)
+    });
     push("no. of pairs", &|r| r.pairs.to_string());
     push("cache slot size", &|r| fmt_bytes(r.item_bytes));
     push("parse CPU (ms avg±std)", &|r| r.parse.avg_pm_std());
     push("preprocess GPU (ms)", &|r| {
-        r.preprocess.as_ref().map_or("N/A".into(), |s| s.avg_pm_std())
+        r.preprocess
+            .as_ref()
+            .map_or("N/A".into(), |s| s.avg_pm_std())
     });
     push("compare GPU (ms)", &|r| r.compare.avg_pm_std());
     push("R factor", &|r| format!("{:.2}", r.r_factor));
@@ -329,9 +357,8 @@ fn busy_rows(r: &SimResult) -> Vec<(String, f64)> {
 }
 
 fn fig8(opts: &ExpOptions) -> String {
-    let mut out = String::from(
-        "Fig 8 — processing time per thread class, one node (TitanX Maxwell)\n\n",
-    );
+    let mut out =
+        String::from("Fig 8 — processing time per thread class, one node (TitanX Maxwell)\n\n");
     let mut csv = String::from("app,class,busy_s,runtime_s,tmin_s\n");
     for w in profiles::all() {
         let (w, scale) = scaled(w, opts);
@@ -372,9 +399,8 @@ fn fig8(opts: &ExpOptions) -> String {
 
 fn fig10(opts: &ExpOptions) -> String {
     let (w, scale) = scaled(profiles::forensics(), opts);
-    let mut out = format!(
-        "Fig 10 — forensics per-thread time vs host cache size (scale 1/{scale})\n\n"
-    );
+    let mut out =
+        format!("Fig 10 — forensics per-thread time vs host cache size (scale 1/{scale})\n\n");
     let mut csv = String::from("host_cache_gb,class,busy_s,runtime_s\n");
     for gb in [20.0, 10.0, 5.0] {
         let node = SimNodeConfig {
@@ -462,9 +488,7 @@ fn fig9(opts: &ExpOptions) -> String {
 // ---------------------------------------------------------------------------
 
 fn fig11(opts: &ExpOptions) -> String {
-    let mut out = String::from(
-        "Fig 11 — distributed-cache request outcomes (h = 3, 16 nodes)\n\n",
-    );
+    let mut out = String::from("Fig 11 — distributed-cache request outcomes (h = 3, 16 nodes)\n\n");
     let mut t = Table::new(&["app", "hit@1", "hit@2", "hit@3", "miss", "lookups"]);
     let mut csv = String::from("app,hop1,hop2,hop3,miss\n");
     for w in profiles::all() {
@@ -519,7 +543,13 @@ fn fig12(opts: &ExpOptions) -> String {
         let (w, scale) = scaled(w, opts);
         out.push_str(&format!("{} (scale 1/{scale}):\n", w.name));
         let mut t = Table::new(&[
-            "nodes", "dist", "runtime", "speedup", "efficiency", "R", "IO MB/s",
+            "nodes",
+            "dist",
+            "runtime",
+            "speedup",
+            "efficiency",
+            "R",
+            "IO MB/s",
         ]);
         for &dist in &[true, false] {
             let mut t1 = None;
@@ -585,9 +615,15 @@ fn heterogeneous_nodes(w: &WorkloadProfile, scale: u64) -> Vec<SimNodeConfig> {
     };
     vec![
         mk(vec![DeviceProfile::k20m()]),
-        mk(vec![DeviceProfile::gtx980(), DeviceProfile::titanx_pascal()]),
+        mk(vec![
+            DeviceProfile::gtx980(),
+            DeviceProfile::titanx_pascal(),
+        ]),
         mk(vec![DeviceProfile::rtx2080ti(), DeviceProfile::rtx2080ti()]),
-        mk(vec![DeviceProfile::gtx_titan(), DeviceProfile::titanx_pascal()]),
+        mk(vec![
+            DeviceProfile::gtx_titan(),
+            DeviceProfile::titanx_pascal(),
+        ]),
     ]
 }
 
@@ -611,12 +647,20 @@ fn fig13(opts: &ExpOptions) -> String {
                 format!("node {}", ["I", "II", "III", "IV"][i]),
                 format!("{:.1}", r.throughput()),
             ]);
-            csv.push_str(&format!("{},node-{},{:.4}\n", w.name, i + 1, r.throughput()));
+            csv.push_str(&format!(
+                "{},node-{},{:.4}\n",
+                w.name,
+                i + 1,
+                r.throughput()
+            ));
         }
         let cfg = sim_defaults(&w, nodes, opts);
         let all = simulate(&cfg);
         t.row(vec!["sum of nodes".into(), format!("{sum:.1}")]);
-        t.row(vec!["all (4 nodes)".into(), format!("{:.1}", all.throughput())]);
+        t.row(vec![
+            "all (4 nodes)".into(),
+            format!("{:.1}", all.throughput()),
+        ]);
         csv.push_str(&format!("{},sum,{sum:.4}\n", w.name));
         csv.push_str(&format!("{},all,{:.4}\n", w.name, all.throughput()));
         out.push_str(&format!(
@@ -729,9 +773,7 @@ fn fig15(opts: &ExpOptions) -> String {
 // ---------------------------------------------------------------------------
 
 fn model_check(opts: &ExpOptions) -> String {
-    let mut out = String::from(
-        "§6.1 performance model vs simulation (R = 1 configurations)\n\n",
-    );
+    let mut out = String::from("§6.1 performance model vs simulation (R = 1 configurations)\n\n");
     let mut t = Table::new(&["app", "T_min (model)", "runtime (sim)", "ratio"]);
     let mut csv = String::from("app,tmin_s,sim_s,ratio\n");
     for w in profiles::all() {
@@ -754,7 +796,10 @@ fn model_check(opts: &ExpOptions) -> String {
             fmt_secs(r.makespan),
             format!("{ratio:.3}"),
         ]);
-        csv.push_str(&format!("{},{tmin:.4},{:.4},{ratio:.4}\n", w.name, r.makespan));
+        csv.push_str(&format!(
+            "{},{tmin:.4},{:.4},{ratio:.4}\n",
+            w.name, r.makespan
+        ));
     }
     out.push_str(&t.render());
     out.push_str(

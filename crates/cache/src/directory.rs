@@ -23,8 +23,9 @@
 //! messages to send next, with the local host-cache check abstracted as a
 //! closure. Both the threaded runtime and the simulator drive it.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
+
+use crate::fxhash::FxHashMap;
 
 /// Cluster node identifier (rank), `0..p`.
 pub type NodeId = usize;
@@ -121,7 +122,7 @@ pub struct Directory {
     node: NodeId,
     nodes: usize,
     h: usize,
-    candidates: HashMap<u64, VecDeque<NodeId>>,
+    candidates: FxHashMap<u64, VecDeque<NodeId>>,
     stats: DirectoryStats,
 }
 
@@ -153,7 +154,7 @@ impl Directory {
             node,
             nodes,
             h,
-            candidates: HashMap::new(),
+            candidates: FxHashMap::default(),
             stats: DirectoryStats::default(),
         }
     }
@@ -184,7 +185,10 @@ impl Directory {
         self.stats.messages_sent += 1;
         (
             self.mediator(item),
-            DirectoryMsg::Request { item, requester: self.node },
+            DirectoryMsg::Request {
+                item,
+                requester: self.node,
+            },
         )
     }
 
@@ -200,7 +204,11 @@ impl Directory {
     ) -> (Vec<(NodeId, DirectoryMsg)>, Resolution) {
         match msg {
             DirectoryMsg::Request { item, requester } => {
-                debug_assert_eq!(self.mediator(item), self.node, "request routed to wrong mediator");
+                debug_assert_eq!(
+                    self.mediator(item),
+                    self.node,
+                    "request routed to wrong mediator"
+                );
                 let chain: Vec<NodeId> = self
                     .candidates
                     .get(&item)
@@ -224,7 +232,12 @@ impl Directory {
                         (
                             vec![(
                                 first,
-                                DirectoryMsg::Probe { item, requester, rest, hop: 1 },
+                                DirectoryMsg::Probe {
+                                    item,
+                                    requester,
+                                    rest,
+                                    hop: 1,
+                                },
                             )],
                             Resolution::InFlight,
                         )
@@ -238,13 +251,22 @@ impl Directory {
                     }
                 }
             }
-            DirectoryMsg::Probe { item, requester, mut rest, hop } => {
+            DirectoryMsg::Probe {
+                item,
+                requester,
+                mut rest,
+                hop,
+            } => {
                 if host_has(item) {
                     self.stats.messages_sent += 1;
                     return (
                         vec![(
                             requester,
-                            DirectoryMsg::Found { item, holder: self.node, hop },
+                            DirectoryMsg::Found {
+                                item,
+                                holder: self.node,
+                                hop,
+                            },
                         )],
                         Resolution::InFlight,
                     );
@@ -261,7 +283,12 @@ impl Directory {
                 (
                     vec![(
                         next,
-                        DirectoryMsg::Probe { item, requester, rest, hop: hop + 1 },
+                        DirectoryMsg::Probe {
+                            item,
+                            requester,
+                            rest,
+                            hop: hop + 1,
+                        },
                     )],
                     Resolution::InFlight,
                 )
@@ -342,7 +369,7 @@ mod tests {
     fn probes_walk_the_candidate_chain() {
         let mut dirs = cluster(8, 3);
         let item = 5; // mediator = node 5
-        // Nodes 1, 2, 3 request in order; none hold it yet.
+                      // Nodes 1, 2, 3 request in order; none hold it yet.
         for n in [1, 2, 3] {
             let (res, _) = run_lookup(&mut dirs, n, item, &HashSet::new());
             // Candidates accumulate, but nobody has the item: all miss.
@@ -387,9 +414,9 @@ mod tests {
     fn requester_not_probed_for_own_request() {
         let mut dirs = cluster(4, 3);
         let item = 6; // mediator 2
-        // Node 1 requests twice; second time the candidate list contains
-        // node 1 itself, which must be skipped (hitting our own cache after
-        // a local miss is pointless).
+                      // Node 1 requests twice; second time the candidate list contains
+                      // node 1 itself, which must be skipped (hitting our own cache after
+                      // a local miss is pointless).
         let _ = run_lookup(&mut dirs, 1, item, &HashSet::new());
         let holders: HashSet<NodeId> = [1].into_iter().collect(); // 1 has it but is asking again
         let (res, _) = run_lookup(&mut dirs, 1, item, &holders);

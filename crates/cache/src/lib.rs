@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod directory;
+pub mod fxhash;
 pub mod lru;
 pub mod slot;
 pub mod stats;
 
 pub use directory::{Directory, DirectoryMsg, DirectoryStats, NodeId, Resolution};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use lru::LruList;
 pub use slot::{ItemId, Lookup, SlotCache, SlotIdx};
 pub use stats::{CacheStats, ReuseStats};

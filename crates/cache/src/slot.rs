@@ -12,9 +12,9 @@
 //! and parks threads on the returned tokens; the discrete-event simulator
 //! schedules wake events for them. One policy implementation, two engines.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use crate::fxhash::FxHashMap;
 use crate::lru::LruList;
 use crate::stats::CacheStats;
 
@@ -49,6 +49,77 @@ enum SlotState<W> {
     Ready { item: ItemId, readers: u32 },
 }
 
+/// Item → slot lookup table.
+///
+/// Callers with a dense item space (the simulator's items are `0..n`) get
+/// an O(1) array-indexed table; open-world callers keep an Fx-hashed map.
+#[derive(Debug)]
+enum ItemMap {
+    /// General case: item ids are sparse / unbounded.
+    Hash(FxHashMap<ItemId, SlotIdx>),
+    /// Dense case: direct index by item id (`NO_SLOT` = absent). Grows on
+    /// demand, so out-of-range items stay correct, just slower to insert.
+    Dense(Vec<u32>),
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl ItemMap {
+    #[inline]
+    fn get(&self, item: ItemId) -> Option<SlotIdx> {
+        match self {
+            ItemMap::Hash(m) => m.get(&item).copied(),
+            ItemMap::Dense(v) => match v.get(item as usize) {
+                Some(&s) if s != NO_SLOT => Some(s as SlotIdx),
+                _ => None,
+            },
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, item: ItemId, slot: SlotIdx) {
+        match self {
+            ItemMap::Hash(m) => {
+                m.insert(item, slot);
+            }
+            ItemMap::Dense(v) => {
+                let i = item as usize;
+                if i >= v.len() {
+                    v.resize(i + 1, NO_SLOT);
+                }
+                v[i] = u32::try_from(slot).expect("slot index fits u32");
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, item: ItemId) {
+        match self {
+            ItemMap::Hash(m) => {
+                m.remove(&item);
+            }
+            ItemMap::Dense(v) => {
+                if let Some(s) = v.get_mut(item as usize) {
+                    *s = NO_SLOT;
+                }
+            }
+        }
+    }
+
+    /// All `(item, slot)` entries, in unspecified order.
+    fn entries(&self) -> Vec<(ItemId, SlotIdx)> {
+        match self {
+            ItemMap::Hash(m) => m.iter().map(|(&i, &s)| (i, s)).collect(),
+            ItemMap::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != NO_SLOT)
+                .map(|(i, &s)| (i as ItemId, s as SlotIdx))
+                .collect(),
+        }
+    }
+}
+
 /// The multi-reader / single-writer slot cache.
 ///
 /// `W` is the caller's waiter token type (a thread parker, a simulator job
@@ -57,7 +128,8 @@ enum SlotState<W> {
 #[derive(Debug)]
 pub struct SlotCache<W> {
     states: Vec<SlotState<W>>,
-    map: HashMap<ItemId, SlotIdx>,
+    /// Item → slot index (dense array or Fx-hashed map; see [`ItemMap`]).
+    map: ItemMap,
     /// Readable slots with zero readers, LRU-ordered; plus explicit free list.
     lru: LruList,
     free: Vec<SlotIdx>,
@@ -70,11 +142,25 @@ impl<W> SlotCache<W> {
     pub fn new(slots: usize) -> Self {
         Self {
             states: (0..slots).map(|_| SlotState::Empty).collect(),
-            map: HashMap::with_capacity(slots),
+            map: ItemMap::Hash(FxHashMap::with_capacity_and_hasher(
+                slots,
+                Default::default(),
+            )),
             lru: LruList::new(slots),
             free: (0..slots).rev().collect(),
             capacity_waiters: VecDeque::new(),
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache with `slots` empty slots whose item ids are known to
+    /// be dense in `0..items`: the item → slot table becomes a flat array,
+    /// removing hashing from every lookup. Items ≥ `items` remain correct
+    /// (the table grows on demand).
+    pub fn with_item_space(slots: usize, items: usize) -> Self {
+        Self {
+            map: ItemMap::Dense(vec![NO_SLOT; items]),
+            ..Self::new(slots)
         }
     }
 
@@ -118,7 +204,7 @@ impl<W> SlotCache<W> {
     /// peers: in-flight writes don't count). Does not touch LRU order.
     pub fn contains_ready(&self, item: ItemId) -> bool {
         matches!(
-            self.map.get(&item).map(|&s| &self.states[s]),
+            self.map.get(item).map(|s| &self.states[s]),
             Some(SlotState::Ready { .. })
         )
     }
@@ -130,7 +216,7 @@ impl<W> SlotCache<W> {
     /// must answer "not here" without side effects (the protocol is best
     /// effort — the requester falls back to loading locally).
     pub fn try_read(&mut self, item: ItemId) -> Option<SlotIdx> {
-        let &slot = self.map.get(&item)?;
+        let slot = self.map.get(item)?;
         match &mut self.states[slot] {
             SlotState::Ready { readers, .. } => {
                 if *readers == 0 {
@@ -148,7 +234,7 @@ impl<W> SlotCache<W> {
     /// `waiter` supplies this job's token, consumed only when the result is
     /// [`Lookup::Pending`] or [`Lookup::Busy`].
     pub fn get(&mut self, item: ItemId, waiter: impl FnOnce() -> W) -> Lookup {
-        if let Some(&slot) = self.map.get(&item) {
+        if let Some(slot) = self.map.get(item) {
             match &mut self.states[slot] {
                 SlotState::Ready { readers, .. } => {
                     if *readers == 0 {
@@ -177,7 +263,7 @@ impl<W> SlotCache<W> {
                 }
                 _ => unreachable!("LRU slot not in Ready state"),
             };
-            self.map.remove(&old);
+            self.map.remove(old);
             self.stats.evictions += 1;
             s
         } else {
@@ -185,7 +271,10 @@ impl<W> SlotCache<W> {
             self.stats.capacity_stalls += 1;
             return Lookup::Busy;
         };
-        self.states[slot] = SlotState::Writing { item, waiters: Vec::new() };
+        self.states[slot] = SlotState::Writing {
+            item,
+            waiters: Vec::new(),
+        };
         self.map.insert(item, slot);
         self.stats.misses += 1;
         Lookup::MustLoad(slot)
@@ -228,7 +317,7 @@ impl<W> SlotCache<W> {
         let state = std::mem::replace(&mut self.states[slot], SlotState::Empty);
         match state {
             SlotState::Writing { item, mut waiters } => {
-                self.map.remove(&item);
+                self.map.remove(item);
                 self.free.push(slot);
                 self.stats.aborts += 1;
                 if let Some(w) = self.capacity_waiters.pop_front() {
@@ -277,9 +366,10 @@ impl<W> SlotCache<W> {
     pub fn resident_items(&self) -> Vec<ItemId> {
         let mut v: Vec<ItemId> = self
             .map
-            .iter()
-            .filter(|&(_, &s)| matches!(self.states[s], SlotState::Ready { .. }))
-            .map(|(&i, _)| i)
+            .entries()
+            .into_iter()
+            .filter(|&(_, s)| matches!(self.states[s], SlotState::Ready { .. }))
+            .map(|(i, _)| i)
             .collect();
         v.sort_unstable();
         v
@@ -289,11 +379,13 @@ impl<W> SlotCache<W> {
     /// points at a slot holding it; LRU contains exactly the evictable
     /// slots; free slots are Empty.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (&item, &slot) in &self.map {
+        for (item, slot) in self.map.entries() {
             match &self.states[slot] {
                 SlotState::Writing { item: it, .. } | SlotState::Ready { item: it, .. } => {
                     if *it != item {
-                        return Err(format!("map says slot {slot} holds {item}, state says {it}"));
+                        return Err(format!(
+                            "map says slot {slot} holds {item}, state says {it}"
+                        ));
                     }
                 }
                 SlotState::Empty => return Err(format!("mapped slot {slot} is empty")),

@@ -73,9 +73,14 @@ impl Endpoint {
     /// directory protocol produces self-addressed messages).
     pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), RecvError> {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.peers[to]
-            .send(Incoming { from: self.node, payload })
+            .send(Incoming {
+                from: self.node,
+                payload,
+            })
             .map_err(|_| RecvError::Disconnected)
     }
 
@@ -110,7 +115,7 @@ pub struct LocalCluster;
 
 impl LocalCluster {
     /// Creates `p` fully connected endpoints (index = rank).
-    pub fn new(p: usize) -> Vec<Endpoint> {
+    pub fn connect(p: usize) -> Vec<Endpoint> {
         assert!(p > 0);
         let stats = Arc::new(CommStats::default());
         let mut senders = Vec::with_capacity(p);
@@ -139,7 +144,7 @@ mod tests {
 
     #[test]
     fn point_to_point_delivery() {
-        let eps = LocalCluster::new(3);
+        let eps = LocalCluster::connect(3);
         eps[0].send(2, Bytes::from_static(b"hi")).unwrap();
         let msg = eps[2].recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(msg.from, 0);
@@ -149,7 +154,7 @@ mod tests {
 
     #[test]
     fn self_send_works() {
-        let eps = LocalCluster::new(2);
+        let eps = LocalCluster::connect(2);
         eps[1].send(1, Bytes::from_static(b"me")).unwrap();
         let msg = eps[1].try_recv().unwrap();
         assert_eq!(msg.from, 1);
@@ -157,7 +162,7 @@ mod tests {
 
     #[test]
     fn fifo_per_sender() {
-        let eps = LocalCluster::new(2);
+        let eps = LocalCluster::connect(2);
         for i in 0..10u8 {
             eps[0].send(1, Bytes::from(vec![i])).unwrap();
         }
@@ -169,7 +174,7 @@ mod tests {
 
     #[test]
     fn timeout_when_quiet() {
-        let eps = LocalCluster::new(2);
+        let eps = LocalCluster::connect(2);
         assert_eq!(
             eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err(),
             RecvError::Timeout
@@ -178,7 +183,7 @@ mod tests {
 
     #[test]
     fn stats_count_messages_and_bytes() {
-        let eps = LocalCluster::new(2);
+        let eps = LocalCluster::connect(2);
         eps[0].send(1, Bytes::from(vec![0u8; 100])).unwrap();
         eps[1].send(0, Bytes::from(vec![0u8; 50])).unwrap();
         let stats = eps[0].stats();
@@ -188,7 +193,7 @@ mod tests {
 
     #[test]
     fn cross_thread_messaging() {
-        let mut eps = LocalCluster::new(2);
+        let mut eps = LocalCluster::connect(2);
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let handle = std::thread::spawn(move || {

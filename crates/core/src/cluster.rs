@@ -94,7 +94,12 @@ impl<O> RunReport<O> {
 
     /// A merged timeline of all nodes' trace spans.
     pub fn timeline(&self) -> Timeline {
-        Timeline::new(self.nodes.iter().flat_map(|n| n.spans.iter().copied()).collect())
+        Timeline::new(
+            self.nodes
+                .iter()
+                .flat_map(|n| n.spans.iter().copied())
+                .collect(),
+        )
     }
 }
 
@@ -142,7 +147,7 @@ impl Rocket {
         let start = Instant::now();
 
         let mut endpoints: Vec<Option<_>> = if nodes > 1 {
-            LocalCluster::new(nodes).into_iter().map(Some).collect()
+            LocalCluster::connect(nodes).into_iter().map(Some).collect()
         } else {
             vec![None]
         };

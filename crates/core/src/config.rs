@@ -1,7 +1,6 @@
 //! Runtime configuration.
 
 use rocket_gpu::DeviceProfile;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one Rocket node (and, via [`crate::cluster`], of every
 /// node of an in-process cluster).
@@ -191,8 +190,9 @@ impl RocketConfigBuilder {
     }
 }
 
-/// Serializable summary of a configuration (for experiment manifests).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// Summary of a configuration (for experiment manifests). Plain data so a
+/// serializer can be layered on once one is available offline.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSummary {
     /// Device names.
     pub devices: Vec<String>,
@@ -256,10 +256,19 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(RocketConfig::builder().devices(0).try_build().is_err());
-        assert!(RocketConfig::builder().device_cache_slots(1).try_build().is_err());
-        assert!(RocketConfig::builder().concurrent_job_limit(0).try_build().is_err());
+        assert!(RocketConfig::builder()
+            .device_cache_slots(1)
+            .try_build()
+            .is_err());
+        assert!(RocketConfig::builder()
+            .concurrent_job_limit(0)
+            .try_build()
+            .is_err());
         assert!(RocketConfig::builder().cpu_threads(0).try_build().is_err());
-        assert!(RocketConfig::builder().distributed_hops(0).try_build().is_err());
+        assert!(RocketConfig::builder()
+            .distributed_hops(0)
+            .try_build()
+            .is_err());
     }
 
     #[test]

@@ -63,7 +63,12 @@ fn encode_dir(d: &DirectoryMsg, w: &mut WireWriter) {
             w.put_u64(*item);
             w.put_u64(*requester as u64);
         }
-        DirectoryMsg::Probe { item, requester, rest, hop } => {
+        DirectoryMsg::Probe {
+            item,
+            requester,
+            rest,
+            hop,
+        } => {
             w.put_u8(1);
             w.put_u64(*item);
             w.put_u64(*requester as u64);
@@ -103,7 +108,12 @@ fn decode_dir(r: &mut WireReader) -> Result<DirectoryMsg, WireError> {
             for _ in 0..len {
                 rest.push(r.get_u64()? as NodeId);
             }
-            Ok(DirectoryMsg::Probe { item, requester, rest, hop: r.get_u8()? })
+            Ok(DirectoryMsg::Probe {
+                item,
+                requester,
+                rest,
+                hop: r.get_u8()?,
+            })
         }
         2 => Ok(DirectoryMsg::Found {
             item: r.get_u64()?,
@@ -126,17 +136,27 @@ mod tests {
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(NodeMsg::Dir(DirectoryMsg::Request { item: 7, requester: 3 }));
+        roundtrip(NodeMsg::Dir(DirectoryMsg::Request {
+            item: 7,
+            requester: 3,
+        }));
         roundtrip(NodeMsg::Dir(DirectoryMsg::Probe {
             item: 9,
             requester: 0,
             rest: vec![1, 2, 5],
             hop: 2,
         }));
-        roundtrip(NodeMsg::Dir(DirectoryMsg::Found { item: 1, holder: 4, hop: 1 }));
+        roundtrip(NodeMsg::Dir(DirectoryMsg::Found {
+            item: 1,
+            holder: 4,
+            hop: 1,
+        }));
         roundtrip(NodeMsg::Dir(DirectoryMsg::NotFound { item: 2 }));
         roundtrip(NodeMsg::Fetch { item: 11 });
-        roundtrip(NodeMsg::FetchReply { item: 11, data: None });
+        roundtrip(NodeMsg::FetchReply {
+            item: 11,
+            data: None,
+        });
         roundtrip(NodeMsg::FetchReply {
             item: 11,
             data: Some(Bytes::from(vec![1u8, 2, 3])),
@@ -145,8 +165,14 @@ mod tests {
 
     #[test]
     fn fetch_reply_size_accounts_payload() {
-        let small = NodeMsg::FetchReply { item: 1, data: Some(Bytes::from(vec![0u8; 10])) };
-        let big = NodeMsg::FetchReply { item: 1, data: Some(Bytes::from(vec![0u8; 1000])) };
+        let small = NodeMsg::FetchReply {
+            item: 1,
+            data: Some(Bytes::from(vec![0u8; 10])),
+        };
+        let big = NodeMsg::FetchReply {
+            item: 1,
+            data: Some(Bytes::from(vec![0u8; 1000])),
+        };
         assert_eq!(big.wire_size() - small.wire_size(), 990);
     }
 
@@ -154,6 +180,9 @@ mod tests {
     fn bad_tag_rejected() {
         let mut w = WireWriter::new();
         w.put_u8(9);
-        assert!(matches!(NodeMsg::from_bytes(w.finish()), Err(WireError::BadTag(9))));
+        assert!(matches!(
+            NodeMsg::from_bytes(w.finish()),
+            Err(WireError::BadTag(9))
+        ));
     }
 }

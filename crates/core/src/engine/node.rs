@@ -71,23 +71,51 @@ pub(crate) enum Event {
     /// A new pair job bound to a device.
     Submit { pair: Pair, dev: usize },
     /// Storage read finished.
-    IoDone { item: ItemId, result: Result<Bytes, String> },
+    IoDone {
+        item: ItemId,
+        result: Result<Bytes, String>,
+    },
     /// CPU parse finished (pre-process path: parsed bytes returned).
-    ParseDone { item: ItemId, result: Result<Vec<u8>, String> },
+    ParseDone {
+        item: ItemId,
+        result: Result<Vec<u8>, String>,
+    },
     /// CPU parse wrote directly into the host slot (no-pre-process path).
-    ParseIntoHostDone { item: ItemId, result: Result<(), String> },
+    ParseIntoHostDone {
+        item: ItemId,
+        result: Result<(), String>,
+    },
     /// Parsed bytes were uploaded to the staging buffer.
-    StagingUploaded { item: ItemId, result: Result<(), String> },
+    StagingUploaded {
+        item: ItemId,
+        result: Result<(), String>,
+    },
     /// Pre-process kernel finished (item now in the device slot).
-    PreprocessDone { item: ItemId, result: Result<(), String> },
+    PreprocessDone {
+        item: ItemId,
+        result: Result<(), String>,
+    },
     /// Device slot was written back into the host slot.
-    ItemCopiedToHost { item: ItemId, result: Result<(), String> },
+    ItemCopiedToHost {
+        item: ItemId,
+        result: Result<(), String>,
+    },
     /// Host slot was copied into the device slot (fill via host hit).
-    DeviceFillCopied { dev: usize, item: ItemId, result: Result<(), String> },
+    DeviceFillCopied {
+        dev: usize,
+        item: ItemId,
+        result: Result<(), String>,
+    },
     /// Comparison kernel finished.
-    CompareDone { job: JobId, result: Result<(), String> },
+    CompareDone {
+        job: JobId,
+        result: Result<(), String>,
+    },
     /// Result buffer arrived on the host.
-    ResultCopied { job: JobId, result: Result<Vec<u8>, String> },
+    ResultCopied {
+        job: JobId,
+        result: Result<Vec<u8>, String>,
+    },
     /// Post-processing delivered the output.
     PostDone { job: JobId },
     /// A message from a peer node (with the sender's rank from the
@@ -186,6 +214,9 @@ impl NodeHandle {
     }
 }
 
+/// Shared sink for completed pair outputs, appended by every worker.
+type SharedOutputs<A> = Arc<Mutex<Vec<(Pair, <A as Application>::Output)>>>;
+
 /// Spawns a node: conductor thread + resource threads (+ comm thread when an
 /// endpoint is given).
 pub(crate) fn spawn_node<A: Application>(
@@ -195,7 +226,7 @@ pub(crate) fn spawn_node<A: Application>(
     nodes: usize,
     store: Arc<dyn ObjectStore>,
     endpoint: Option<Endpoint>,
-    outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+    outputs: SharedOutputs<A>,
 ) -> NodeHandle {
     let (events_tx, events_rx) = unbounded::<Event>();
     let counters = Arc::new(NodeCounters::default());
@@ -246,9 +277,7 @@ pub(crate) fn spawn_node<A: Application>(
             .spawn(move || {
                 let conductor = Conductor::new(
                     app, cfg, node_id, nodes, store, endpoint, outputs, counters, limiter,
-                    events_rx,
-                    events_tx,
-                    recorder,
+                    events_rx, events_tx, recorder,
                 );
                 conductor.run()
             })
@@ -304,7 +333,7 @@ struct Conductor<A: Application> {
     loads: u64,
     remote_fetches: u64,
     failed: Vec<(Pair, String)>,
-    outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+    outputs: SharedOutputs<A>,
     counters: Arc<NodeCounters>,
     limiter: Arc<JobLimiter>,
     events_rx: Receiver<Event>,
@@ -323,7 +352,7 @@ impl<A: Application> Conductor<A> {
         nodes: usize,
         store: Arc<dyn ObjectStore>,
         endpoint: Option<Endpoint>,
-        outputs: Arc<Mutex<Vec<(Pair, A::Output)>>>,
+        outputs: SharedOutputs<A>,
         counters: Arc<NodeCounters>,
         limiter: Arc<JobLimiter>,
         events_rx: Receiver<Event>,
@@ -335,7 +364,7 @@ impl<A: Application> Conductor<A> {
         let parsed_bytes = app.parsed_bytes() as u64;
         let result_bytes = app.result_bytes() as u64;
         let staging_per_dev = if app.has_preprocess() { 4 } else { 0 };
-        let results_per_dev = cfg.concurrent_job_limit.min(64).max(1);
+        let results_per_dev = cfg.concurrent_job_limit.clamp(1, 64);
 
         let mut devices = Vec::with_capacity(n_dev);
         let mut dev_cache = Vec::with_capacity(n_dev);
@@ -375,7 +404,14 @@ impl<A: Application> Conductor<A> {
             .map(|_| Arc::new(Mutex::new(vec![0u8; item_bytes as usize])))
             .collect();
 
-        let io = Resource::spawn("io", ThreadClass::Io, 0, 1, events_tx.clone(), Arc::clone(&recorder));
+        let io = Resource::spawn(
+            "io",
+            ThreadClass::Io,
+            0,
+            1,
+            events_tx.clone(),
+            Arc::clone(&recorder),
+        );
         let cpu = Resource::spawn(
             "cpu",
             ThreadClass::Cpu,
@@ -386,17 +422,38 @@ impl<A: Application> Conductor<A> {
         );
         let gpu: Vec<_> = (0..n_dev)
             .map(|d| {
-                Resource::spawn("gpu", ThreadClass::Gpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+                Resource::spawn(
+                    "gpu",
+                    ThreadClass::Gpu,
+                    d as u32,
+                    1,
+                    events_tx.clone(),
+                    Arc::clone(&recorder),
+                )
             })
             .collect();
         let h2d: Vec<_> = (0..n_dev)
             .map(|d| {
-                Resource::spawn("h2d", ThreadClass::CpuToGpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+                Resource::spawn(
+                    "h2d",
+                    ThreadClass::CpuToGpu,
+                    d as u32,
+                    1,
+                    events_tx.clone(),
+                    Arc::clone(&recorder),
+                )
             })
             .collect();
         let d2h: Vec<_> = (0..n_dev)
             .map(|d| {
-                Resource::spawn("d2h", ThreadClass::GpuToCpu, d as u32, 1, events_tx.clone(), Arc::clone(&recorder))
+                Resource::spawn(
+                    "d2h",
+                    ThreadClass::GpuToCpu,
+                    d as u32,
+                    1,
+                    events_tx.clone(),
+                    Arc::clone(&recorder),
+                )
             })
             .collect();
 
@@ -543,7 +600,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn try_acquire_job(&mut self, id: JobId) {
-        let Some(job) = self.jobs.get(&id) else { return };
+        let Some(job) = self.jobs.get(&id) else {
+            return;
+        };
         if job.comparing {
             return;
         }
@@ -562,7 +621,11 @@ impl<A: Application> Conductor<A> {
         for (which, item) in order {
             let held = {
                 let job = &self.jobs[&id];
-                if which == 0 { job.left } else { job.right }
+                if which == 0 {
+                    job.left
+                } else {
+                    job.right
+                }
             };
             if held.is_some() {
                 continue;
@@ -600,7 +663,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn release_job_leases(&mut self, id: JobId) {
-        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
         let dev = job.dev;
         let leases = [job.left.take(), job.right.take()];
         for slot in leases.into_iter().flatten() {
@@ -689,7 +754,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn return_result_buf(&mut self, id: JobId) {
-        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
         let dev = job.dev;
         if let Some(buf) = job.result_buf.take() {
             self.result_pool[dev].push(buf);
@@ -771,7 +838,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn complete_dev_fill(&mut self, dev: usize, item: ItemId) {
-        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else { return };
+        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else {
+            return;
+        };
         let waiters = self.dev_cache[dev].publish(dslot);
         for w in waiters {
             self.run_cont(w);
@@ -789,7 +858,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn abort_dev_fill(&mut self, dev: usize, item: ItemId) {
-        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else { return };
+        let Some(dslot) = self.dev_fills.remove(&(dev, item)) else {
+            return;
+        };
         let waiters = self.dev_cache[dev].abort(dslot);
         for w in waiters {
             self.run_cont(w);
@@ -806,7 +877,12 @@ impl<A: Application> Conductor<A> {
     fn start_host_fill(&mut self, item: ItemId, hslot: SlotIdx, origin_dev: usize) {
         self.host_fills.insert(
             item,
-            HostFill { hslot, origin_dev, staging: None, parsed: None },
+            HostFill {
+                hslot,
+                origin_dev,
+                staging: None,
+                parsed: None,
+            },
         );
         if self.cfg.distributed_cache && self.nodes > 1 {
             let (to, msg) = self.directory.begin_lookup(item);
@@ -828,12 +904,18 @@ impl<A: Application> Conductor<A> {
                 for _ in 0..=retries {
                     match store.read(&path) {
                         Ok(data) => {
-                            return Some(Event::IoDone { item, result: Ok(data) });
+                            return Some(Event::IoDone {
+                                item,
+                                result: Ok(data),
+                            });
                         }
                         Err(e) => last_err = e.to_string(),
                     }
                 }
-                Some(Event::IoDone { item, result: Err(last_err) })
+                Some(Event::IoDone {
+                    item,
+                    result: Err(last_err),
+                })
             }),
         );
     }
@@ -846,7 +928,9 @@ impl<A: Application> Conductor<A> {
                 return;
             }
         };
-        let Some(fill) = self.host_fills.get(&item) else { return };
+        let Some(fill) = self.host_fills.get(&item) else {
+            return;
+        };
         let app = Arc::clone(&self.app);
         if app.has_preprocess() {
             let parsed_bytes = app.parsed_bytes();
@@ -880,7 +964,9 @@ impl<A: Application> Conductor<A> {
     fn on_parse_done(&mut self, item: ItemId, result: Result<Vec<u8>, String>) {
         match result {
             Ok(parsed) => {
-                let Some(fill) = self.host_fills.get_mut(&item) else { return };
+                let Some(fill) = self.host_fills.get_mut(&item) else {
+                    return;
+                };
                 fill.parsed = Some(parsed);
                 self.try_stage(item);
             }
@@ -890,7 +976,9 @@ impl<A: Application> Conductor<A> {
 
     /// Uploads parsed bytes to a staging buffer when one is available.
     fn try_stage(&mut self, item: ItemId) {
-        let Some(fill) = self.host_fills.get_mut(&item) else { return };
+        let Some(fill) = self.host_fills.get_mut(&item) else {
+            return;
+        };
         let dev = fill.origin_dev;
         let Some(staging) = self.staging_pool[dev].pop() else {
             self.staging_queue[dev].push_back(item);
@@ -910,7 +998,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn schedule_preprocess(&mut self, item: ItemId) {
-        let Some(fill) = self.host_fills.get(&item) else { return };
+        let Some(fill) = self.host_fills.get(&item) else {
+            return;
+        };
         let dev = fill.origin_dev;
         let staging = fill.staging.expect("staging held");
         let Some(&dslot) = self.dev_fills.get(&(dev, item)) else {
@@ -927,7 +1017,9 @@ impl<A: Application> Conductor<A> {
             item,
             Box::new(move || {
                 let result = device
-                    .launch(&[staging], dbuf, |ins, out| app.preprocess(item, ins[0], out))
+                    .launch(&[staging], dbuf, |ins, out| {
+                        app.preprocess(item, ins[0], out)
+                    })
                     .map_err(|e| e.to_string())
                     .and_then(|r| r.map_err(|e| e.to_string()));
                 Some(Event::PreprocessDone { item, result })
@@ -947,7 +1039,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn on_preprocess_done(&mut self, item: ItemId, result: Result<(), String>) {
-        let Some(fill) = self.host_fills.get(&item) else { return };
+        let Some(fill) = self.host_fills.get(&item) else {
+            return;
+        };
         let dev = fill.origin_dev;
         self.return_staging(dev, item);
         match result {
@@ -956,7 +1050,9 @@ impl<A: Application> Conductor<A> {
                 // The item is ready on the device: publish the device slot
                 // first (jobs can start comparing), then write it back to
                 // the host slot (Fig 4's "copy device slot to host slot").
-                let Some(&dslot) = self.dev_fills.get(&(dev, item)) else { return };
+                let Some(&dslot) = self.dev_fills.get(&(dev, item)) else {
+                    return;
+                };
                 let dbuf = self.dev_slot_bufs[dev][dslot];
                 self.complete_dev_fill(dev, item);
                 let fill = self.host_fills.get(&item).expect("host fill present");
@@ -984,7 +1080,9 @@ impl<A: Application> Conductor<A> {
     }
 
     fn publish_host(&mut self, item: ItemId) {
-        let Some(fill) = self.host_fills.remove(&item) else { return };
+        let Some(fill) = self.host_fills.remove(&item) else {
+            return;
+        };
         let waiters = self.host_cache.publish(fill.hslot);
         for w in waiters {
             self.run_cont(w);
@@ -1051,8 +1149,9 @@ impl<A: Application> Conductor<A> {
                     _ => None,
                 };
                 let host_cache = &self.host_cache;
-                let (outgoing, resolution) =
-                    self.directory.handle(dir_msg, |i| host_cache.contains_ready(i));
+                let (outgoing, resolution) = self
+                    .directory
+                    .handle(dir_msg, |i| host_cache.contains_ready(i));
                 for (to, m) in outgoing {
                     self.send_to(to, NodeMsg::Dir(m));
                 }

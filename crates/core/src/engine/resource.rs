@@ -59,8 +59,7 @@ impl<E: Send + 'static> Resource<E> {
                         while let Ok(msg) = rx.recv() {
                             match msg {
                                 TaskMsg::Run { kind, tag, task } => {
-                                    let event =
-                                        recorder.scope(class, lane, kind, tag, task);
+                                    let event = recorder.scope(class, lane, kind, tag, task);
                                     if let Some(e) = event {
                                         // The conductor may already be gone
                                         // during shutdown; dropping the
@@ -75,7 +74,12 @@ impl<E: Send + 'static> Resource<E> {
                     .expect("failed to spawn resource thread")
             })
             .collect();
-        Self { tx, threads: handles, class, lane }
+        Self {
+            tx,
+            threads: handles,
+            class,
+            lane,
+        }
     }
 
     /// Queues a task.

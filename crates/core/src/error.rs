@@ -18,13 +18,20 @@ pub struct AppError {
 impl AppError {
     /// Creates an application-stage error.
     pub fn new(stage: &'static str, message: impl Into<String>) -> Self {
-        Self { stage, message: message.into() }
+        Self {
+            stage,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for AppError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "application {} stage failed: {}", self.stage, self.message)
+        write!(
+            f,
+            "application {} stage failed: {}",
+            self.stage, self.message
+        )
     }
 }
 
@@ -95,7 +102,10 @@ mod tests {
         assert_eq!(e.to_string(), "application parse stage failed: bad magic");
         let r: RocketError = e.into();
         assert!(r.to_string().contains("parse"));
-        let l = RocketError::LoadFailed { item: 3, cause: "io".into() };
+        let l = RocketError::LoadFailed {
+            item: 3,
+            cause: "io".into(),
+        };
         assert!(l.to_string().contains("item 3"));
     }
 

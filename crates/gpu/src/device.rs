@@ -38,7 +38,10 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, free {free} B"
+                )
             }
             DeviceError::InvalidBuffer(id) => write!(f, "invalid device buffer {id:?}"),
             DeviceError::SizeMismatch { dst, src } => {
@@ -127,7 +130,10 @@ impl VirtualDevice {
         let mut mem = self.mem.lock();
         let free = self.profile.memory_bytes - mem.used;
         if size > free {
-            return Err(DeviceError::OutOfMemory { requested: size, free });
+            return Err(DeviceError::OutOfMemory {
+                requested: size,
+                free,
+            });
         }
         let id = mem.next_id;
         mem.next_id += 1;

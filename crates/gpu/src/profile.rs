@@ -30,12 +30,7 @@ const GB: u64 = 1_000_000_000;
 const PCIE3: f64 = 12.0e9; // ~12 GB/s effective PCIe 3.0 x16
 
 impl DeviceProfile {
-    fn new(
-        name: &str,
-        memory_bytes: u64,
-        compute_scale: f64,
-        generation: &'static str,
-    ) -> Self {
+    fn new(name: &str, memory_bytes: u64, compute_scale: f64, generation: &'static str) -> Self {
         Self {
             name: name.to_string(),
             memory_bytes,
@@ -164,7 +159,10 @@ mod tests {
         // §6.5: "more powerful GPUs (e.g., RTX2080Ti) delivering a higher
         // processing rate than others (e.g., GTX980)".
         assert!(DeviceProfile::rtx2080ti().compute_scale > DeviceProfile::gtx980().compute_scale);
-        assert!(DeviceProfile::titanx_pascal().compute_scale > DeviceProfile::titanx_maxwell().compute_scale);
+        assert!(
+            DeviceProfile::titanx_pascal().compute_scale
+                > DeviceProfile::titanx_maxwell().compute_scale
+        );
         assert!(DeviceProfile::k20m().compute_scale < DeviceProfile::gtx_titan().compute_scale);
     }
 }

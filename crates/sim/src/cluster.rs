@@ -13,8 +13,32 @@
 //! one-to-one (acquire-left-then-right with release-on-busy, device fill →
 //! host fill → distributed lookup → load pipeline), so simulator results
 //! are explanatory for the real runtime.
+//!
+//! # Dense-table state layout
+//!
+//! The per-event handlers run millions of times per simulation, so all
+//! mutable simulator state is laid out for O(1) array indexing instead of
+//! hashing:
+//!
+//! * **Jobs** live in a per-node free-list slab (`SimNode::jobs` +
+//!   `SimNode::free_jobs`); a job id *is* its slab slot. Slots recycle only
+//!   after [`Sim::on_post_done`], and a completed job can have no parked
+//!   waiter tokens (it must have held both leases to reach the compare
+//!   stage), so recycled ids can never be reached by stale wake-ups.
+//! * **Device-fill state** is per-GPU × per-item: `SimGpu::fills[item]`
+//!   holds the WRITE-reserved device slot, the host-slot lease of the
+//!   in-flight H2D copy, and the parked waiter tokens — replacing three
+//!   `HashMap<(gpu, item), _>` tables with one indexed row per item.
+//! * **Host-fill state** is per-node × per-item: `SimNode::host_fill[item]`
+//!   packs the origin GPU and the reserved host slot of an in-flight load.
+//! * **Stage distributions** are resolved once at construction into
+//!   [`StageDists`]; handlers sample through `&Dist` without cloning.
+//!
+//! The dense tables cost `O(nodes × gpus × items)` machine words of memory
+//! — a few MB for the largest scenario sweeps — in exchange for removing
+//! every hash and every `Dist` clone from the per-event path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rocket_apps::WorkloadProfile;
 use rocket_cache::{
@@ -114,7 +138,10 @@ impl SimConfig {
 
     /// All device profiles, flattened (for the performance model).
     pub fn all_gpus(&self) -> Vec<DeviceProfile> {
-        self.nodes.iter().flat_map(|n| n.gpus.iter().cloned()).collect()
+        self.nodes
+            .iter()
+            .flat_map(|n| n.gpus.iter().cloned())
+            .collect()
     }
 }
 
@@ -212,9 +239,53 @@ struct SimJob {
     comparing: bool,
 }
 
+/// The device-profile numbers a simulated GPU actually consumes on the hot
+/// path, denormalized out of [`DeviceProfile`] so handlers never chase the
+/// profile struct (or clone its name) per event.
+#[derive(Debug, Clone, Copy)]
+struct GpuRates {
+    compute_scale: f64,
+    h2d_bytes_per_sec: f64,
+    d2h_bytes_per_sec: f64,
+}
+
+impl From<&DeviceProfile> for GpuRates {
+    fn from(p: &DeviceProfile) -> Self {
+        Self {
+            compute_scale: p.compute_scale,
+            h2d_bytes_per_sec: p.h2d_bytes_per_sec,
+            d2h_bytes_per_sec: p.d2h_bytes_per_sec,
+        }
+    }
+}
+
+/// Per-item device-fill row (see the module docs' dense-table layout).
+///
+/// Replaces the tuple-keyed `dev_fills` / `h2d_leases` / `fill_waiters`
+/// hash maps: `SimGpu::fills[item]` is the single source of truth for one
+/// GPU's in-flight fill of one item.
+#[derive(Debug, Default, Clone)]
+struct DevFill {
+    /// Device slot reserved in WRITE state (`Some` while a fill is in
+    /// flight for this item on this GPU).
+    dev_slot: Option<SlotIdx>,
+    /// Host slot leased by the in-flight H2D copy, if one is running.
+    h2d_lease: Option<SlotIdx>,
+    /// Tokens to wake when the fill publishes.
+    waiters: Vec<Tok>,
+}
+
+/// Per-item host-fill row: origin GPU and the host slot reserved in WRITE
+/// state. Replaces the `host_fills` + `host_fill_slot` hash maps.
+#[derive(Debug, Clone, Copy)]
+struct HostFill {
+    origin_gpu: u32,
+    slot: SlotIdx,
+}
+
 #[derive(Debug)]
 struct SimGpu {
-    profile: DeviceProfile,
+    rates: GpuRates,
     cache: SlotCache<Tok>,
     compute: Engine,
     h2d: Engine,
@@ -222,6 +293,8 @@ struct SimGpu {
     in_flight: usize,
     pre_busy_ns: u64,
     cmp_busy_ns: u64,
+    /// Dense per-item device-fill table, indexed by item id.
+    fills: Vec<DevFill>,
 }
 
 struct SimNode {
@@ -232,17 +305,54 @@ struct SimNode {
     cpu: Pool,
     nic: Engine,
     directory: Directory,
-    jobs: HashMap<u64, SimJob>,
+    /// Job slab; a job id is its slot index here.
+    jobs: Vec<Option<SimJob>>,
+    /// Recycled slots of `jobs`.
+    free_jobs: Vec<u32>,
     jobs_in_flight: usize,
-    host_fills: HashMap<u64, usize>, // item -> origin gpu
-    host_fill_slot: HashMap<u64, SlotIdx>,
-    dev_fills: HashMap<(usize, u64), SlotIdx>,
-    fill_waiters: HashMap<(usize, u64), Vec<Tok>>,
-    h2d_leases: HashMap<(usize, u64), SlotIdx>,
+    /// Dense per-item host-fill table, indexed by item id.
+    host_fill: Vec<Option<HostFill>>,
     pairs_done: u64,
     loads: u64,
     remote_fetches: u64,
     retry_pending: bool,
+}
+
+impl SimNode {
+    #[inline]
+    fn job(&self, id: u64) -> Option<&SimJob> {
+        self.jobs[id as usize].as_ref()
+    }
+
+    #[inline]
+    fn job_mut(&mut self, id: u64) -> Option<&mut SimJob> {
+        self.jobs[id as usize].as_mut()
+    }
+
+    fn alloc_job(&mut self, job: SimJob) -> u64 {
+        match self.free_jobs.pop() {
+            Some(slot) => {
+                debug_assert!(self.jobs[slot as usize].is_none());
+                self.jobs[slot as usize] = Some(job);
+                slot as u64
+            }
+            None => {
+                self.jobs.push(Some(job));
+                (self.jobs.len() - 1) as u64
+            }
+        }
+    }
+
+    fn free_job(&mut self, id: u64) -> SimJob {
+        let job = self.jobs[id as usize].take().expect("job");
+        self.free_jobs.push(id as u32);
+        job
+    }
+
+    /// Live jobs (diagnostics; the slab may hold free slots).
+    fn live_jobs(&self) -> usize {
+        self.jobs.iter().flatten().count()
+    }
 }
 
 #[derive(Debug)]
@@ -273,14 +383,40 @@ pub fn simulate(config: &SimConfig) -> SimResult {
     Sim::new(config).run()
 }
 
+/// Workload stage-time distributions, resolved once at construction so the
+/// per-event handlers sample through `&Dist` with zero clones.
+struct StageDists {
+    parse: Dist,
+    preprocess: Option<Dist>,
+    compare: Dist,
+    postprocess: Dist,
+}
+
+/// Samples a stage duration in nanoseconds. A free function over disjoint
+/// borrows (`&mut rng`, `&Dist`) — the shape that lets callers sample from
+/// `self.stages` while mutating `self.rng` without cloning the
+/// distribution.
+#[inline]
+fn sample_ns(rng: &mut Xoshiro256, dist: &Dist) -> u64 {
+    secs_to_ns(dist.sample(rng))
+}
+
+/// Time to move `bytes` at `bytes_per_sec`.
+#[inline]
+fn transfer_ns(bytes: u64, bytes_per_sec: f64) -> u64 {
+    secs_to_ns(bytes as f64 / bytes_per_sec)
+}
+
 struct Sim<'a> {
     cfg: &'a SimConfig,
+    stages: StageDists,
     queue: EventQueue<Ev>,
     nodes: Vec<SimNode>,
     storage: Engine,
     rng: Xoshiro256,
-    next_job: u64,
     wakes: VecDeque<(usize, Tok)>,
+    /// Scratch buffer for steal-victim selection (avoids a per-steal alloc).
+    victims: Vec<usize>,
     total_pairs: u64,
     pairs_started: u64,
     pairs_done: u64,
@@ -318,27 +454,25 @@ impl<'a> Sim<'a> {
                         .gpus
                         .iter()
                         .map(|profile| SimGpu {
-                            profile: profile.clone(),
-                            cache: SlotCache::new(dev_slots),
+                            rates: GpuRates::from(profile),
+                            cache: SlotCache::with_item_space(dev_slots, n as usize),
                             compute: Engine::new(),
                             h2d: Engine::new(),
                             d2h: Engine::new(),
                             in_flight: 0,
                             pre_busy_ns: 0,
                             cmp_busy_ns: 0,
+                            fills: vec![DevFill::default(); n as usize],
                         })
                         .collect(),
-                    host_cache: SlotCache::new(host_slots),
+                    host_cache: SlotCache::with_item_space(host_slots, n as usize),
                     cpu: Pool::new(cfg.cpu_threads),
                     nic: Engine::new(),
                     directory: Directory::new(rank, p, cfg.hops),
-                    jobs: HashMap::new(),
+                    jobs: Vec::new(),
+                    free_jobs: Vec::new(),
                     jobs_in_flight: 0,
-                    host_fills: HashMap::new(),
-                    host_fill_slot: HashMap::new(),
-                    dev_fills: HashMap::new(),
-                    fill_waiters: HashMap::new(),
-                    h2d_leases: HashMap::new(),
+                    host_fill: vec![None; n as usize],
                     pairs_done: 0,
                     loads: 0,
                     remote_fetches: 0,
@@ -348,12 +482,18 @@ impl<'a> Sim<'a> {
             .collect();
         Self {
             cfg,
+            stages: StageDists {
+                parse: cfg.workload.parse.clone(),
+                preprocess: cfg.workload.preprocess.clone(),
+                compare: cfg.workload.compare.clone(),
+                postprocess: cfg.workload.postprocess.clone(),
+            },
             queue: EventQueue::new(),
             nodes,
             storage: Engine::new(),
             rng: Xoshiro256::seed_from(cfg.seed),
-            next_job: 0,
             wakes: VecDeque::new(),
+            victims: Vec::with_capacity(p),
             total_pairs: n * n.saturating_sub(1) / 2,
             pairs_started: 0,
             pairs_done: 0,
@@ -367,14 +507,12 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn sample_ns(&mut self, dist: &Dist) -> u64 {
-        secs_to_ns(dist.sample(&mut self.rng))
-    }
-
     fn run(mut self) -> SimResult {
         // The master node spawns the root task (§4.2).
         if self.total_pairs > 0 {
-            self.nodes[0].deque.push(Block::root(self.cfg.workload.items));
+            self.nodes[0]
+                .deque
+                .push(Block::root(self.cfg.workload.items));
         }
         for node in 0..self.nodes.len() {
             self.queue.schedule_at(0, Ev::Pull { node });
@@ -408,7 +546,7 @@ impl<'a> Sim<'a> {
         for (ni, node) in self.nodes.iter().enumerate() {
             let mut dev_readers: Vec<Map<SlotIdx, u32>> =
                 (0..node.gpus.len()).map(|_| Map::new()).collect();
-            for job in node.jobs.values() {
+            for job in node.jobs.iter().flatten() {
                 for slot in [job.left, job.right].into_iter().flatten() {
                     *dev_readers[job.gpu].entry(slot).or_insert(0) += 1;
                 }
@@ -422,11 +560,15 @@ impl<'a> Sim<'a> {
                         "node {ni} gpu {g} slot {slot}: reader-count leak"
                     );
                 }
-                gpu.cache.check_invariants().expect("device cache invariants");
+                gpu.cache
+                    .check_invariants()
+                    .expect("device cache invariants");
             }
             let mut host_readers: Map<SlotIdx, u32> = Map::new();
-            for &hslot in node.h2d_leases.values() {
-                *host_readers.entry(hslot).or_insert(0) += 1;
+            for gpu in &node.gpus {
+                for hslot in gpu.fills.iter().filter_map(|f| f.h2d_lease) {
+                    *host_readers.entry(hslot).or_insert(0) += 1;
+                }
             }
             for slot in 0..node.host_cache.capacity() {
                 let expected = host_readers.get(&slot).copied().unwrap_or(0);
@@ -436,23 +578,35 @@ impl<'a> Sim<'a> {
                     "node {ni} host slot {slot}: reader-count leak"
                 );
             }
-            node.host_cache.check_invariants().expect("host cache invariants");
+            node.host_cache
+                .check_invariants()
+                .expect("host cache invariants");
         }
     }
 
     fn stall_panic(&self, why: &str) -> ! {
         let mut diag = String::new();
         for (i, node) in self.nodes.iter().enumerate() {
+            let dev_fills: usize = node
+                .gpus
+                .iter()
+                .map(|g| g.fills.iter().filter(|f| f.dev_slot.is_some()).count())
+                .sum();
+            let h2d_leases: usize = node
+                .gpus
+                .iter()
+                .map(|g| g.fills.iter().filter(|f| f.h2d_lease.is_some()).count())
+                .sum();
             diag.push_str(&format!(
                 "\n node {i}: jobs={} inflight={} pending={} deque={} hostfills={} devfills={} \
                  h2d_leases={} host(cap_waiters={} evictable={} occ={}/{})",
-                node.jobs.len(),
+                node.live_jobs(),
                 node.jobs_in_flight,
                 node.pending.len(),
                 node.deque.len(),
-                node.host_fills.len(),
-                node.dev_fills.len(),
-                node.h2d_leases.len(),
+                node.host_fill.iter().flatten().count(),
+                dev_fills,
+                h2d_leases,
                 node.host_cache.parked_capacity_waiters(),
                 node.host_cache.evictable(),
                 node.host_cache.occupied(),
@@ -470,19 +624,39 @@ impl<'a> Sim<'a> {
                 ));
             }
             if i == 0 {
-                let mut ids: Vec<_> = node.jobs.keys().copied().collect();
-                ids.sort_unstable();
-                for id in ids {
-                    let j = &node.jobs[&id];
+                for (id, j) in node.jobs.iter().enumerate() {
+                    let Some(j) = j else { continue };
                     diag.push_str(&format!(
                         "\n   job {id}: pair=({},{}) left={:?} right={:?} stalled={:?} comparing={}",
                         j.pair.left, j.pair.right, j.left, j.right, j.stalled, j.comparing
                     ));
                 }
+                let dev_fill_keys: Vec<(usize, usize)> = node
+                    .gpus
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(g, gpu)| {
+                        gpu.fills
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, f)| f.dev_slot.is_some())
+                            .map(move |(item, _)| (g, item))
+                    })
+                    .collect();
+                let waiter_keys: Vec<(usize, usize)> = node
+                    .gpus
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(g, gpu)| {
+                        gpu.fills
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, f)| !f.waiters.is_empty())
+                            .map(move |(item, _)| (g, item))
+                    })
+                    .collect();
                 diag.push_str(&format!(
-                    "\n   dev_fills={:?} fill_waiter_keys={:?}",
-                    node.dev_fills.keys().collect::<Vec<_>>(),
-                    node.fill_waiters.keys().collect::<Vec<_>>()
+                    "\n   dev_fills={dev_fill_keys:?} fill_waiter_keys={waiter_keys:?}"
                 ));
             }
         }
@@ -589,9 +763,7 @@ impl<'a> Sim<'a> {
 
     fn pull_work(&mut self, node: usize) {
         loop {
-            if self.nodes[node].jobs_in_flight >= self.cfg.job_limit
-                || !self.has_gpu_slack(node)
-            {
+            if self.nodes[node].jobs_in_flight >= self.cfg.job_limit || !self.has_gpu_slack(node) {
                 return;
             }
             if let Some(pair) = self.next_pair(node) {
@@ -601,7 +773,8 @@ impl<'a> Sim<'a> {
                 // still show up in stealable form.
                 if self.pairs_started < self.total_pairs && !self.nodes[node].retry_pending {
                     self.nodes[node].retry_pending = true;
-                    self.queue.schedule_in(secs_to_ns(500e-6), Ev::StealRetry { node });
+                    self.queue
+                        .schedule_in(secs_to_ns(500e-6), Ev::StealRetry { node });
                 }
                 return;
             }
@@ -625,13 +798,16 @@ impl<'a> Sim<'a> {
                 continue;
             }
             // Steal the highest-level block from a random busy peer.
-            let victims: Vec<usize> = (0..self.nodes.len())
-                .filter(|&v| v != node && !self.nodes[v].deque.is_empty())
-                .collect();
-            if victims.is_empty() {
+            self.victims.clear();
+            for v in 0..self.nodes.len() {
+                if v != node && !self.nodes[v].deque.is_empty() {
+                    self.victims.push(v);
+                }
+            }
+            if self.victims.is_empty() {
                 return None;
             }
-            let victim = *self.rng.pick(&victims);
+            let victim = *self.rng.pick(&self.victims);
             let block = self.nodes[victim].deque.steal().expect("victim non-empty");
             self.steals += 1;
             self.nodes[node].deque.push(block);
@@ -639,8 +815,6 @@ impl<'a> Sim<'a> {
     }
 
     fn start_job(&mut self, node: usize, pair: Pair) {
-        let id = self.next_job;
-        self.next_job += 1;
         self.pairs_started += 1;
         // Bind to the least-loaded GPU of the node (per-GPU workers) that
         // still has lease headroom.
@@ -650,16 +824,23 @@ impl<'a> Sim<'a> {
             .expect("caller checked gpu slack");
         self.nodes[node].gpus[gpu].in_flight += 1;
         self.nodes[node].jobs_in_flight += 1;
-        self.nodes[node]
-            .jobs
-            .insert(id, SimJob { pair, gpu, left: None, right: None, stalled: None, comparing: false });
+        let id = self.nodes[node].alloc_job(SimJob {
+            pair,
+            gpu,
+            left: None,
+            right: None,
+            stalled: None,
+            comparing: false,
+        });
         self.try_acquire(node, id);
     }
 
     // ---- job lease acquisition (mirrors the threaded conductor) ----------
 
     fn try_acquire(&mut self, node: usize, id: u64) {
-        let Some(job) = self.nodes[node].jobs.get(&id) else { return };
+        let Some(job) = self.nodes[node].job(id) else {
+            return;
+        };
         if job.comparing {
             return;
         }
@@ -671,15 +852,19 @@ impl<'a> Sim<'a> {
         }
         for (which, item) in order {
             let held = {
-                let job = &self.nodes[node].jobs[&id];
-                if which == 0 { job.left } else { job.right }
+                let job = self.nodes[node].job(id).expect("job");
+                if which == 0 {
+                    job.left
+                } else {
+                    job.right
+                }
             };
             if held.is_some() {
                 continue;
             }
             match self.nodes[node].gpus[gpu].cache.get(item, || Tok::Job(id)) {
                 Lookup::Hit(slot) => {
-                    let job = self.nodes[node].jobs.get_mut(&id).expect("job");
+                    let job = self.nodes[node].job_mut(id).expect("job");
                     if which == 0 {
                         job.left = Some(slot);
                     } else {
@@ -688,30 +873,29 @@ impl<'a> Sim<'a> {
                 }
                 Lookup::Pending => return,
                 Lookup::MustLoad(slot) => {
-                    self.nodes[node].dev_fills.insert((gpu, item), slot);
-                    self.nodes[node]
-                        .fill_waiters
-                        .entry((gpu, item))
-                        .or_default()
-                        .push(Tok::Job(id));
+                    let fill = &mut self.nodes[node].gpus[gpu].fills[item as usize];
+                    fill.dev_slot = Some(slot);
+                    fill.waiters.push(Tok::Job(id));
                     self.continue_dev_fill(node, gpu, item);
                     return;
                 }
                 Lookup::Busy => {
-                    self.nodes[node].jobs.get_mut(&id).expect("job").stalled = Some(item);
+                    self.nodes[node].job_mut(id).expect("job").stalled = Some(item);
                     self.release_leases(node, id);
                     return;
                 }
             }
         }
-        let job = self.nodes[node].jobs.get_mut(&id).expect("job");
+        let job = self.nodes[node].job_mut(id).expect("job");
         job.stalled = None;
         job.comparing = true;
         self.schedule_compare(node, id);
     }
 
     fn release_leases(&mut self, node: usize, id: u64) {
-        let Some(job) = self.nodes[node].jobs.get_mut(&id) else { return };
+        let Some(job) = self.nodes[node].job_mut(id) else {
+            return;
+        };
         let gpu = job.gpu;
         let leases = [job.left.take(), job.right.take()];
         for slot in leases.into_iter().flatten() {
@@ -739,39 +923,41 @@ impl<'a> Sim<'a> {
     // ---- compare / result / post ------------------------------------------
 
     fn schedule_compare(&mut self, node: usize, id: u64) {
-        let job = &self.nodes[node].jobs[&id];
-        let gpu = job.gpu;
-        let scale = self.nodes[node].gpus[gpu].profile.compute_scale;
-        let base = self.sample_ns(&self.cfg.workload.compare.clone());
-        let dur = (base as f64 / scale) as u64;
+        let gpu = self.nodes[node].job(id).expect("job").gpu;
+        let base = sample_ns(&mut self.rng, &self.stages.compare);
         let now = self.queue.now();
         let g = &mut self.nodes[node].gpus[gpu];
+        let dur = (base as f64 / g.rates.compute_scale) as u64;
         let done = g.compute.submit(now, dur);
         g.cmp_busy_ns += dur;
-        self.queue.schedule_at(done, Ev::CompareDone { node, job: id });
+        self.queue
+            .schedule_at(done, Ev::CompareDone { node, job: id });
     }
 
     fn on_compare_done(&mut self, node: usize, id: u64) {
         // Leases can be dropped as soon as the kernel finishes.
         self.release_leases(node, id);
-        let gpu = self.nodes[node].jobs[&id].gpu;
-        let dur = self.transfer_ns(self.cfg.workload.item_bytes.min(1024), |p| {
-            p.d2h_bytes_per_sec
-        }, node, gpu);
+        let gpu = self.nodes[node].job(id).expect("job").gpu;
         let now = self.queue.now();
-        let done = self.nodes[node].gpus[gpu].d2h.submit(now, dur);
-        self.queue.schedule_at(done, Ev::ResultDone { node, job: id });
+        let g = &mut self.nodes[node].gpus[gpu];
+        let dur = transfer_ns(
+            self.cfg.workload.item_bytes.min(1024),
+            g.rates.d2h_bytes_per_sec,
+        );
+        let done = g.d2h.submit(now, dur);
+        self.queue
+            .schedule_at(done, Ev::ResultDone { node, job: id });
     }
 
     fn on_result_done(&mut self, node: usize, id: u64) {
-        let dur = self.sample_ns(&self.cfg.workload.postprocess.clone());
+        let dur = sample_ns(&mut self.rng, &self.stages.postprocess);
         let now = self.queue.now();
         let done = self.nodes[node].cpu.submit(now, dur);
         self.queue.schedule_at(done, Ev::PostDone { node, job: id });
     }
 
     fn on_post_done(&mut self, node: usize, id: u64) {
-        let job = self.nodes[node].jobs.remove(&id).expect("job");
+        let job = self.nodes[node].free_job(id);
         self.nodes[node].gpus[job.gpu].in_flight -= 1;
         self.nodes[node].jobs_in_flight -= 1;
         self.nodes[node].pairs_done += 1;
@@ -787,25 +973,15 @@ impl<'a> Sim<'a> {
 
     // ---- device fill -------------------------------------------------------
 
-    fn transfer_ns(
-        &self,
-        bytes: u64,
-        bw: impl Fn(&DeviceProfile) -> f64,
-        node: usize,
-        gpu: usize,
-    ) -> u64 {
-        let rate = bw(&self.nodes[node].gpus[gpu].profile);
-        secs_to_ns(bytes as f64 / rate)
-    }
-
     fn continue_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
-        if !self.nodes[node].dev_fills.contains_key(&(gpu, item)) {
+        let fill = &self.nodes[node].gpus[gpu].fills[item as usize];
+        if fill.dev_slot.is_none() {
             return;
         }
         // An H2D copy is already filling this slot: a second wake (e.g. a
         // parked token plus the origin-continuation of `publish_host`)
         // must not take a second host lease.
-        if self.nodes[node].h2d_leases.contains_key(&(gpu, item)) {
+        if fill.h2d_lease.is_some() {
             return;
         }
         match self.nodes[node]
@@ -813,21 +989,20 @@ impl<'a> Sim<'a> {
             .get(item, || Tok::DevFill { gpu, item })
         {
             Lookup::Hit(hslot) => {
-                self.nodes[node].h2d_leases.insert((gpu, item), hslot);
-                let dur = self.transfer_ns(
-                    self.cfg.workload.item_bytes,
-                    |p| p.h2d_bytes_per_sec,
-                    node,
-                    gpu,
-                );
                 let now = self.queue.now();
-                let done = self.nodes[node].gpus[gpu].h2d.submit(now, dur);
-                self.queue.schedule_at(done, Ev::FillCopyDone { node, gpu, item });
+                let g = &mut self.nodes[node].gpus[gpu];
+                g.fills[item as usize].h2d_lease = Some(hslot);
+                let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.h2d_bytes_per_sec);
+                let done = g.h2d.submit(now, dur);
+                self.queue
+                    .schedule_at(done, Ev::FillCopyDone { node, gpu, item });
             }
             Lookup::Pending | Lookup::Busy => {}
             Lookup::MustLoad(hslot) => {
-                self.nodes[node].host_fills.insert(item, gpu);
-                self.nodes[node].host_fill_slot.insert(item, hslot);
+                self.nodes[node].host_fill[item as usize] = Some(HostFill {
+                    origin_gpu: gpu as u32,
+                    slot: hslot,
+                });
                 if self.cfg.distributed_cache && self.nodes.len() > 1 {
                     let (to, msg) = self.nodes[node].directory.begin_lookup(item);
                     self.send(node, to, Msg::Dir(msg));
@@ -839,7 +1014,10 @@ impl<'a> Sim<'a> {
     }
 
     fn on_fill_copy_done(&mut self, node: usize, gpu: usize, item: u64) {
-        if let Some(hslot) = self.nodes[node].h2d_leases.remove(&(gpu, item)) {
+        if let Some(hslot) = self.nodes[node].gpus[gpu].fills[item as usize]
+            .h2d_lease
+            .take()
+        {
             if let Some(tok) = self.nodes[node].host_cache.release(hslot) {
                 self.wake(node, tok);
             }
@@ -848,17 +1026,17 @@ impl<'a> Sim<'a> {
     }
 
     fn complete_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
-        let Some(dslot) = self.nodes[node].dev_fills.remove(&(gpu, item)) else {
+        let fill = &mut self.nodes[node].gpus[gpu].fills[item as usize];
+        let Some(dslot) = fill.dev_slot.take() else {
             return;
         };
+        let ws = std::mem::take(&mut fill.waiters);
         let waiters = self.nodes[node].gpus[gpu].cache.publish(dslot);
         for w in waiters {
             self.wake(node, w);
         }
-        if let Some(ws) = self.nodes[node].fill_waiters.remove(&(gpu, item)) {
-            for w in ws {
-                self.wake(node, w);
-            }
+        for w in ws {
+            self.wake(node, w);
         }
         // The published slot is evictable until a reader takes it: that is
         // fresh capacity, so a parked capacity waiter must get a retry.
@@ -880,22 +1058,26 @@ impl<'a> Sim<'a> {
     }
 
     fn on_io_done(&mut self, node: usize, item: u64) {
-        let dur = self.sample_ns(&self.cfg.workload.parse.clone());
+        let dur = sample_ns(&mut self.rng, &self.stages.parse);
         let now = self.queue.now();
         let done = self.nodes[node].cpu.submit(now, dur);
         self.queue.schedule_at(done, Ev::ParseDone { node, item });
     }
 
     fn on_parse_done(&mut self, node: usize, item: u64) {
-        let Some(&gpu) = self.nodes[node].host_fills.get(&item) else { return };
-        if self.cfg.workload.preprocess.is_some() {
+        let Some(fill) = self.nodes[node].host_fill[item as usize] else {
+            return;
+        };
+        let gpu = fill.origin_gpu as usize;
+        if self.stages.preprocess.is_some() {
             // Stage parsed bytes to the device, pre-process there, write the
             // item back to the host slot (Fig 4's ℓ path).
-            let dur =
-                self.transfer_ns(self.cfg.workload.item_bytes, |p| p.h2d_bytes_per_sec, node, gpu);
             let now = self.queue.now();
-            let done = self.nodes[node].gpus[gpu].h2d.submit(now, dur);
-            self.queue.schedule_at(done, Ev::StagingDone { node, gpu, item });
+            let g = &mut self.nodes[node].gpus[gpu];
+            let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.h2d_bytes_per_sec);
+            let done = g.h2d.submit(now, dur);
+            self.queue
+                .schedule_at(done, Ev::StagingDone { node, gpu, item });
         } else {
             // No GPU pre-processing: the parsed bytes are the item.
             self.nodes[node].loads += 1;
@@ -904,15 +1086,17 @@ impl<'a> Sim<'a> {
     }
 
     fn schedule_preprocess(&mut self, node: usize, gpu: usize, item: u64) {
-        let dist = self.cfg.workload.preprocess.clone().expect("preprocess stage");
-        let base = self.sample_ns(&dist);
-        let scale = self.nodes[node].gpus[gpu].profile.compute_scale;
-        let dur = (base as f64 / scale) as u64;
+        let base = sample_ns(
+            &mut self.rng,
+            self.stages.preprocess.as_ref().expect("preprocess stage"),
+        );
         let now = self.queue.now();
         let g = &mut self.nodes[node].gpus[gpu];
+        let dur = (base as f64 / g.rates.compute_scale) as u64;
         let done = g.compute.submit(now, dur);
         g.pre_busy_ns += dur;
-        self.queue.schedule_at(done, Ev::PreprocessDone { node, gpu, item });
+        self.queue
+            .schedule_at(done, Ev::PreprocessDone { node, gpu, item });
     }
 
     fn on_preprocess_done(&mut self, node: usize, gpu: usize, item: u64) {
@@ -920,22 +1104,20 @@ impl<'a> Sim<'a> {
         // Publish the device slot first (jobs can compare immediately), then
         // write back to the host slot.
         self.complete_dev_fill(node, gpu, item);
-        let dur =
-            self.transfer_ns(self.cfg.workload.item_bytes, |p| p.d2h_bytes_per_sec, node, gpu);
         let now = self.queue.now();
-        let done = self.nodes[node].gpus[gpu].d2h.submit(now, dur);
-        self.queue.schedule_at(done, Ev::WritebackDone { node, item });
+        let g = &mut self.nodes[node].gpus[gpu];
+        let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.d2h_bytes_per_sec);
+        let done = g.d2h.submit(now, dur);
+        self.queue
+            .schedule_at(done, Ev::WritebackDone { node, item });
     }
 
     fn publish_host(&mut self, node: usize, item: u64) {
-        let Some(origin_gpu) = self.nodes[node].host_fills.remove(&item) else {
+        let Some(fill) = self.nodes[node].host_fill[item as usize].take() else {
             return;
         };
-        let hslot = self.nodes[node]
-            .host_fill_slot
-            .remove(&item)
-            .expect("host fill slot");
-        let waiters = self.nodes[node].host_cache.publish(hslot);
+        let origin_gpu = fill.origin_gpu as usize;
+        let waiters = self.nodes[node].host_cache.publish(fill.slot);
         for w in waiters {
             self.wake(node, w);
         }
@@ -943,7 +1125,10 @@ impl<'a> Sim<'a> {
         if let Some(w) = self.nodes[node].host_cache.pop_capacity_waiter() {
             self.wake(node, w);
         }
-        if self.nodes[node].dev_fills.contains_key(&(origin_gpu, item)) {
+        if self.nodes[node].gpus[origin_gpu].fills[item as usize]
+            .dev_slot
+            .is_some()
+        {
             self.continue_dev_fill(node, origin_gpu, item);
         }
     }
@@ -976,13 +1161,20 @@ impl<'a> Sim<'a> {
                     Resolution::InFlight => {}
                     Resolution::Found { holder, .. } => {
                         let item = lookup_item.expect("found carries item");
-                        if self.nodes[to].host_fills.contains_key(&item) {
-                            self.send(to, holder, Msg::Fetch { item, requester: to });
+                        if self.nodes[to].host_fill[item as usize].is_some() {
+                            self.send(
+                                to,
+                                holder,
+                                Msg::Fetch {
+                                    item,
+                                    requester: to,
+                                },
+                            );
                         }
                     }
                     Resolution::LoadLocally => {
                         let item = lookup_item.expect("not-found carries item");
-                        if self.nodes[to].host_fills.contains_key(&item) {
+                        if self.nodes[to].host_fill[item as usize].is_some() {
                             self.local_load(to, item);
                         }
                     }
@@ -1019,7 +1211,7 @@ impl<'a> Sim<'a> {
             }
             Msg::FetchReply { item, ok } => {
                 let _ = from;
-                if !self.nodes[to].host_fills.contains_key(&item) {
+                if self.nodes[to].host_fill[item as usize].is_none() {
                     return;
                 }
                 if ok {

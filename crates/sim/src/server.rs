@@ -61,7 +61,11 @@ impl Pool {
     /// Creates a pool with `servers` workers.
     pub fn new(servers: usize) -> Self {
         assert!(servers >= 1);
-        Self { free_at: vec![0; servers], busy_ns: 0, tasks: 0 }
+        Self {
+            free_at: vec![0; servers],
+            busy_ns: 0,
+            tasks: 0,
+        }
     }
 
     /// Enqueues a task of `duration` ns at `now`; returns completion time.

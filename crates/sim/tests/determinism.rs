@@ -1,0 +1,102 @@
+//! Same-seed ⇒ identical-report regression tests for the refactored engine.
+//!
+//! The hot-path overhaul (slab-backed event queue, dense state tables,
+//! zero-clone samplers) must not perturb simulation results: a run is a
+//! pure function of its `SimConfig` + seed. These tests lock that in by
+//! requiring *byte-identical* full reports — every counter, busy time, and
+//! per-node series — across repeated runs of the exact configurations the
+//! `des` criterion benchmarks measure.
+
+use rocket_apps::WorkloadProfile;
+use rocket_sim::{simulate, SimConfig, SimNodeConfig, SimResult};
+use rocket_stats::Dist;
+
+/// The `benches/des.rs` workload, duplicated here so the regression pins
+/// the benchmarked configuration byte-for-byte.
+fn bench_workload(items: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "bench",
+        items,
+        file_bytes: 1_000_000,
+        item_bytes: 10_000_000,
+        parse: Dist::Constant(10e-3),
+        preprocess: Some(Dist::Constant(5e-3)),
+        compare: Dist::Constant(1e-3),
+        postprocess: Dist::Constant(0.0),
+        paper_device_slots: 16,
+        paper_host_slots: 64,
+    }
+}
+
+/// Renders every field of the report (Debug covers the whole struct) so a
+/// comparison is sensitive to any divergence, not just headline numbers.
+fn report_bytes(r: &SimResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn single_node_n96_same_seed_identical_report() {
+    let cfg = SimConfig::cluster(bench_workload(96), vec![SimNodeConfig::uniform(1, 32, 64)]);
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(a.pairs, 96 * 95 / 2);
+    assert_eq!(report_bytes(&a), report_bytes(&b));
+}
+
+#[test]
+fn four_nodes_n96_distcache_same_seed_identical_report() {
+    let cfg = SimConfig::cluster(
+        bench_workload(96),
+        vec![SimNodeConfig::uniform(1, 16, 32); 4],
+    );
+    assert!(
+        cfg.distributed_cache,
+        "cluster defaults enable the distcache"
+    );
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(a.pairs, 96 * 95 / 2);
+    assert!(a.steals > 0, "multi-node run must exercise work stealing");
+    assert_eq!(report_bytes(&a), report_bytes(&b));
+}
+
+#[test]
+fn stochastic_stage_times_same_seed_identical_report() {
+    // Randomized stage distributions exercise the RNG-dependent paths; a
+    // different seed must (overwhelmingly) give a different report, while
+    // the same seed reproduces it exactly.
+    let mut workload = bench_workload(48);
+    workload.parse = Dist::normal_nonneg(10e-3, 2e-3);
+    workload.compare = Dist::LogNormal {
+        mean: 1e-3,
+        std: 0.4e-3,
+    };
+    workload.postprocess = Dist::Exponential { mean: 0.2e-3 };
+    let mut cfg = SimConfig::cluster(workload, vec![SimNodeConfig::uniform(2, 16, 32); 2]);
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert_eq!(report_bytes(&a), report_bytes(&b));
+
+    cfg.seed ^= 1;
+    let c = simulate(&cfg);
+    assert_ne!(
+        report_bytes(&a),
+        report_bytes(&c),
+        "different seed should perturb a stochastic run"
+    );
+}
+
+#[test]
+fn completions_recorded_runs_identically() {
+    // `record_completions` adds the per-GPU timestamp series to the report;
+    // it must be deterministic too (Fig 14 reproductions depend on it).
+    let mut cfg = SimConfig::cluster(
+        bench_workload(32),
+        vec![SimNodeConfig::uniform(2, 16, 32); 2],
+    );
+    cfg.record_completions = true;
+    let a = simulate(&cfg);
+    let b = simulate(&cfg);
+    assert!(a.completions.is_some());
+    assert_eq!(report_bytes(&a), report_bytes(&b));
+}

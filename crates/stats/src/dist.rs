@@ -105,10 +105,22 @@ impl Dist {
         assert!(c > 0.0, "scale factor must be positive");
         match self {
             Dist::Constant(v) => Dist::Constant(v * c),
-            Dist::Uniform { lo, hi } => Dist::Uniform { lo: lo * c, hi: hi * c },
-            Dist::Normal { mean, std } => Dist::Normal { mean: mean * c, std: std * c },
-            Dist::LogNormal { mean, std } => Dist::LogNormal { mean: mean * c, std: std * c },
-            Dist::Gamma { shape, scale } => Dist::Gamma { shape: *shape, scale: scale * c },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * c,
+                hi: hi * c,
+            },
+            Dist::Normal { mean, std } => Dist::Normal {
+                mean: mean * c,
+                std: std * c,
+            },
+            Dist::LogNormal { mean, std } => Dist::LogNormal {
+                mean: mean * c,
+                std: std * c,
+            },
+            Dist::Gamma { shape, scale } => Dist::Gamma {
+                shape: *shape,
+                scale: scale * c,
+            },
             Dist::Exponential { mean } => Dist::Exponential { mean: mean * c },
             Dist::Truncated { inner, lo, hi } => Dist::Truncated {
                 inner: Box::new(inner.scaled_by(c)),
@@ -242,7 +254,10 @@ mod tests {
 
     #[test]
     fn normal_moments() {
-        let d = Dist::Normal { mean: 130.8, std: 14.11 };
+        let d = Dist::Normal {
+            mean: 130.8,
+            std: 14.11,
+        };
         let s = moments(&d, 200_000, 3);
         assert!((s.mean() - 130.8).abs() < 0.2);
         assert!((s.std() - 14.11).abs() < 0.2);
@@ -250,7 +265,10 @@ mod tests {
 
     #[test]
     fn lognormal_moment_matching() {
-        let d = Dist::LogNormal { mean: 564.3, std: 348.0 };
+        let d = Dist::LogNormal {
+            mean: 564.3,
+            std: 348.0,
+        };
         let s = moments(&d, 400_000, 4);
         assert!((s.mean() - 564.3).abs() / 564.3 < 0.02, "mean {}", s.mean());
         assert!((s.std() - 348.0).abs() / 348.0 < 0.05, "std {}", s.std());
@@ -259,7 +277,10 @@ mod tests {
 
     #[test]
     fn gamma_moments_high_shape() {
-        let d = Dist::Gamma { shape: 9.0, scale: 0.5 };
+        let d = Dist::Gamma {
+            shape: 9.0,
+            scale: 0.5,
+        };
         let s = moments(&d, 200_000, 5);
         assert!((s.mean() - 4.5).abs() < 0.05);
         assert!((s.std() - 1.5).abs() < 0.05);
@@ -267,11 +288,18 @@ mod tests {
 
     #[test]
     fn gamma_moments_low_shape() {
-        let d = Dist::Gamma { shape: 0.5, scale: 2.0 };
+        let d = Dist::Gamma {
+            shape: 0.5,
+            scale: 2.0,
+        };
         let s = moments(&d, 400_000, 6);
         assert!((s.mean() - 1.0).abs() < 0.03, "mean {}", s.mean());
-        // std = sqrt(k)·θ = sqrt(0.5)·2 ≈ 1.414
-        assert!((s.std() - 1.4142).abs() < 0.05, "std {}", s.std());
+        // std = sqrt(k)·θ = sqrt(0.5)·2 = √2
+        assert!(
+            (s.std() - std::f64::consts::SQRT_2).abs() < 0.05,
+            "std {}",
+            s.std()
+        );
     }
 
     #[test]
@@ -294,7 +322,10 @@ mod tests {
     #[test]
     fn truncated_respects_bounds() {
         let d = Dist::Truncated {
-            inner: Box::new(Dist::Normal { mean: 0.0, std: 5.0 }),
+            inner: Box::new(Dist::Normal {
+                mean: 0.0,
+                std: 5.0,
+            }),
             lo: -1.0,
             hi: 1.0,
         };
@@ -318,7 +349,14 @@ mod tests {
     fn means_reported() {
         assert_eq!(Dist::Constant(2.0).mean(), 2.0);
         assert_eq!(Dist::Uniform { lo: 0.0, hi: 4.0 }.mean(), 2.0);
-        assert_eq!(Dist::Gamma { shape: 3.0, scale: 2.0 }.mean(), 6.0);
+        assert_eq!(
+            Dist::Gamma {
+                shape: 3.0,
+                scale: 2.0
+            }
+            .mean(),
+            6.0
+        );
         assert_eq!(Dist::Exponential { mean: 7.0 }.mean(), 7.0);
     }
 }

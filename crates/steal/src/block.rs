@@ -39,7 +39,12 @@ pub struct Block {
 impl Block {
     /// The root block covering all pairs of `n` items.
     pub fn root(n: u64) -> Self {
-        Self { row_lo: 0, row_hi: n, col_lo: 0, col_hi: n }
+        Self {
+            row_lo: 0,
+            row_hi: n,
+            col_lo: 0,
+            col_hi: n,
+        }
     }
 
     /// Number of valid pairs (upper-triangle cells) in this block.
@@ -92,10 +97,30 @@ impl Block {
         let col_mid = self.col_lo + cols / 2;
         let mut out = Vec::with_capacity(4);
         let candidates = [
-            Block { row_lo: self.row_lo, row_hi: row_mid.max(self.row_lo + 1), col_lo: self.col_lo, col_hi: col_mid.max(self.col_lo + 1) },
-            Block { row_lo: self.row_lo, row_hi: row_mid.max(self.row_lo + 1), col_lo: col_mid.max(self.col_lo + 1), col_hi: self.col_hi },
-            Block { row_lo: row_mid.max(self.row_lo + 1), row_hi: self.row_hi, col_lo: self.col_lo, col_hi: col_mid.max(self.col_lo + 1) },
-            Block { row_lo: row_mid.max(self.row_lo + 1), row_hi: self.row_hi, col_lo: col_mid.max(self.col_lo + 1), col_hi: self.col_hi },
+            Block {
+                row_lo: self.row_lo,
+                row_hi: row_mid.max(self.row_lo + 1),
+                col_lo: self.col_lo,
+                col_hi: col_mid.max(self.col_lo + 1),
+            },
+            Block {
+                row_lo: self.row_lo,
+                row_hi: row_mid.max(self.row_lo + 1),
+                col_lo: col_mid.max(self.col_lo + 1),
+                col_hi: self.col_hi,
+            },
+            Block {
+                row_lo: row_mid.max(self.row_lo + 1),
+                row_hi: self.row_hi,
+                col_lo: self.col_lo,
+                col_hi: col_mid.max(self.col_lo + 1),
+            },
+            Block {
+                row_lo: row_mid.max(self.row_lo + 1),
+                row_hi: self.row_hi,
+                col_lo: col_mid.max(self.col_lo + 1),
+                col_hi: self.col_hi,
+            },
         ];
         for c in candidates {
             if c.row_lo < c.row_hi && c.col_lo < c.col_hi && c.count() > 0 {
@@ -110,8 +135,14 @@ impl Block {
             if cols > 1 {
                 let mid = self.col_lo + cols / 2;
                 for c in [
-                    Block { col_hi: mid, ..*self },
-                    Block { col_lo: mid, ..*self },
+                    Block {
+                        col_hi: mid,
+                        ..*self
+                    },
+                    Block {
+                        col_lo: mid,
+                        ..*self
+                    },
                 ] {
                     if c.count() > 0 {
                         out.push(c);
@@ -120,8 +151,14 @@ impl Block {
             } else {
                 let mid = self.row_lo + rows / 2;
                 for c in [
-                    Block { row_hi: mid, ..*self },
-                    Block { row_lo: mid, ..*self },
+                    Block {
+                        row_hi: mid,
+                        ..*self
+                    },
+                    Block {
+                        row_lo: mid,
+                        ..*self
+                    },
                 ] {
                     if c.count() > 0 {
                         out.push(c);
@@ -183,12 +220,13 @@ mod tests {
             for r1 in r0..=n {
                 for c0 in 0..n {
                     for c1 in c0..=n {
-                        let b = Block { row_lo: r0, row_hi: r1, col_lo: c0, col_hi: c1 };
-                        assert_eq!(
-                            b.count(),
-                            b.pairs().count() as u64,
-                            "block {b:?}"
-                        );
+                        let b = Block {
+                            row_lo: r0,
+                            row_hi: r1,
+                            col_lo: c0,
+                            col_hi: c1,
+                        };
+                        assert_eq!(b.count(), b.pairs().count() as u64, "block {b:?}");
                     }
                 }
             }
@@ -206,7 +244,11 @@ mod tests {
                 return;
             }
             let child_total: u64 = children.iter().map(Block::count).sum();
-            assert_eq!(child_total, b.count(), "split of {b:?} lost/duplicated work");
+            assert_eq!(
+                child_total,
+                b.count(),
+                "split of {b:?} lost/duplicated work"
+            );
             for c in children {
                 check(c, seen);
             }
@@ -253,24 +295,47 @@ mod tests {
 
     #[test]
     fn empty_blocks() {
-        let below = Block { row_lo: 4, row_hi: 8, col_lo: 0, col_hi: 4 };
+        let below = Block {
+            row_lo: 4,
+            row_hi: 8,
+            col_lo: 0,
+            col_hi: 4,
+        };
         assert_eq!(below.count(), 0);
         assert_eq!(below.pairs().count(), 0);
-        let empty = Block { row_lo: 3, row_hi: 3, col_lo: 0, col_hi: 9 };
+        let empty = Block {
+            row_lo: 3,
+            row_hi: 3,
+            col_lo: 0,
+            col_hi: 9,
+        };
         assert_eq!(empty.count(), 0);
     }
 
     #[test]
     fn items_deduplicated() {
-        let b = Block { row_lo: 0, row_hi: 3, col_lo: 2, col_hi: 5 };
+        let b = Block {
+            row_lo: 0,
+            row_hi: 3,
+            col_lo: 2,
+            col_hi: 5,
+        };
         assert_eq!(b.items(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn single_cell_is_leaf() {
-        let b = Block { row_lo: 2, row_hi: 3, col_lo: 7, col_hi: 8 };
+        let b = Block {
+            row_lo: 2,
+            row_hi: 3,
+            col_lo: 7,
+            col_hi: 8,
+        };
         assert_eq!(b.count(), 1);
         assert!(b.split().is_empty());
-        assert_eq!(b.pairs().collect::<Vec<_>>(), vec![Pair { left: 2, right: 7 }]);
+        assert_eq!(
+            b.pairs().collect::<Vec<_>>(),
+            vec![Pair { left: 2, right: 7 }]
+        );
     }
 }

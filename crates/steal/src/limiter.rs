@@ -139,8 +139,11 @@ mod tests {
         let max_seen = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
         for _ in 0..8 {
-            let (l, in_flight, max_seen) =
-                (Arc::clone(&l), Arc::clone(&in_flight), Arc::clone(&max_seen));
+            let (l, in_flight, max_seen) = (
+                Arc::clone(&l),
+                Arc::clone(&in_flight),
+                Arc::clone(&max_seen),
+            );
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
                     l.acquire();

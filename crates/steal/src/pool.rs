@@ -22,7 +22,7 @@ impl WorkerTopology {
     /// one Constellation worker per GPU).
     pub fn uniform(nodes: usize, workers_per_node: usize) -> Self {
         let node_of = (0..nodes)
-            .flat_map(|n| std::iter::repeat(n).take(workers_per_node))
+            .flat_map(|n| std::iter::repeat_n(n, workers_per_node))
             .collect();
         Self { node_of }
     }
@@ -51,7 +51,11 @@ pub struct StealPoolConfig {
 
 impl Default for StealPoolConfig {
     fn default() -> Self {
-        Self { leaf_pairs: 1, seed: 0x9E3779B97F4A7C15, local_attempts: 2 }
+        Self {
+            leaf_pairs: 1,
+            seed: 0x9E3779B97F4A7C15,
+            local_attempts: 2,
+        }
     }
 }
 
@@ -105,7 +109,10 @@ impl StealPool {
         assert!(workers > 0, "pool needs at least one worker");
         let total = n * n.saturating_sub(1) / 2;
         if total == 0 {
-            return StealStats { pairs_per_worker: vec![0; workers], ..Default::default() };
+            return StealStats {
+                pairs_per_worker: vec![0; workers],
+                ..Default::default()
+            };
         }
 
         let deques: Vec<Deque<Block>> = (0..workers).map(|_| Deque::new_lifo()).collect();
@@ -118,7 +125,9 @@ impl StealPool {
         let per_worker: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
 
         let run_worker = |worker: usize, deque: Deque<Block>| {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             let my_node = topology.node_of[worker];
             let siblings: Vec<usize> = (0..workers)
                 .filter(|&w| w != worker && topology.node_of[w] == my_node)
@@ -193,13 +202,15 @@ impl StealPool {
         });
 
         StealStats {
-            pairs_per_worker: per_worker.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            pairs_per_worker: per_worker
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
             local_steals: local_steals.load(Ordering::Relaxed),
             remote_steals: remote_steals.load(Ordering::Relaxed),
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -265,7 +276,10 @@ mod tests {
         let stats = StealPool::run(
             n,
             &WorkerTopology::single_node(4),
-            &StealPoolConfig { leaf_pairs: 16, ..Default::default() },
+            &StealPoolConfig {
+                leaf_pairs: 16,
+                ..Default::default()
+            },
             |_, _| {
                 // Sleep (not spin): on single-core machines this forces the
                 // scheduler to rotate workers so stealing can engage.
@@ -273,7 +287,11 @@ mod tests {
             },
         );
         let active = stats.pairs_per_worker.iter().filter(|&&c| c > 0).count();
-        assert!(active >= 2, "only {active} workers participated: {:?}", stats.pairs_per_worker);
+        assert!(
+            active >= 2,
+            "only {active} workers participated: {:?}",
+            stats.pairs_per_worker
+        );
         assert!(stats.local_steals + stats.remote_steals > 0);
     }
 
@@ -283,7 +301,10 @@ mod tests {
         let stats = StealPool::run(
             n,
             &WorkerTopology::uniform(2, 2),
-            &StealPoolConfig { leaf_pairs: 8, ..Default::default() },
+            &StealPoolConfig {
+                leaf_pairs: 8,
+                ..Default::default()
+            },
             |_, _| {
                 std::thread::sleep(std::time::Duration::from_micros(10));
             },
@@ -300,7 +321,10 @@ mod tests {
         StealPool::run(
             32,
             &WorkerTopology::single_node(2),
-            &StealPoolConfig { leaf_pairs: 64, ..Default::default() },
+            &StealPoolConfig {
+                leaf_pairs: 64,
+                ..Default::default()
+            },
             |_, _| {
                 seen.fetch_add(1, Ordering::Relaxed);
             },
@@ -315,7 +339,10 @@ mod tests {
             ..Default::default()
         };
         assert!((stats.imbalance() - 1.5).abs() < 1e-12);
-        let perfect = StealStats { pairs_per_worker: vec![20, 20], ..Default::default() };
+        let perfect = StealStats {
+            pairs_per_worker: vec![20, 20],
+            ..Default::default()
+        };
         assert!((perfect.imbalance() - 1.0).abs() < 1e-12);
     }
 }

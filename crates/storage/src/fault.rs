@@ -51,7 +51,7 @@ impl<S: ObjectStore> ObjectStore for FaultStore<S> {
 
     fn read(&self, key: &str) -> Result<Bytes> {
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.period != 0 && n % self.period == 0 {
+        if self.period != 0 && n.is_multiple_of(self.period) {
             return Err(StorageError::Unavailable(format!(
                 "injected fault on read #{n} (key {key})"
             )));

@@ -60,10 +60,7 @@ pub trait ObjectStore: Send + Sync {
 
     /// Sum of all object sizes ("size of raw data on disk", Table 1).
     fn total_bytes(&self) -> u64 {
-        self.list()
-            .iter()
-            .filter_map(|k| self.size(k).ok())
-            .sum()
+        self.list().iter().filter_map(|k| self.size(k).ok()).sum()
     }
 }
 
@@ -86,6 +83,10 @@ impl MemStore {
     }
 
     /// Builds a store from an iterator of `(key, bytes)` pairs.
+    ///
+    /// Not `FromIterator`: the generic `(K, V)` bounds (rather than a fixed
+    /// item type) make an inherent constructor clearer at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<K, V>(items: impl IntoIterator<Item = (K, V)>) -> Self
     where
         K: Into<String>,

@@ -18,9 +18,9 @@ pub fn to_chrome_json(spans: &[Span]) -> String {
     for (i, s) in spans.iter().enumerate() {
         let comma = if i + 1 == spans.len() { "" } else { "," };
         // Escape-free by construction: labels are static ASCII identifiers.
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":\"{}\",\"tid\":{},\"args\":{{\"tag\":{}}}}}{}\n",
+            "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":\"{}\",\"tid\":{},\"args\":{{\"tag\":{}}}}}{}",
             s.kind.label(),
             s.class.label(),
             s.start_ns / 1_000,

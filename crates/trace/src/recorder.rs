@@ -81,7 +81,14 @@ impl TraceRecorder {
     ) {
         if self.is_enabled() {
             let end_ns = self.now_ns().max(start_ns);
-            self.record(Span { class, lane, kind, start_ns, end_ns, tag });
+            self.record(Span {
+                class,
+                lane,
+                kind,
+                start_ns,
+                end_ns,
+                tag,
+            });
         }
     }
 

@@ -37,7 +37,13 @@ impl ThroughputSeries {
     /// `step_ns`, averaged over the trailing `window_ns`.
     ///
     /// Returns `(t_seconds, rate)` pairs covering `[0, end_ns]`.
-    pub fn rolling(&self, source: u32, window_ns: u64, step_ns: u64, end_ns: u64) -> Vec<(f64, f64)> {
+    pub fn rolling(
+        &self,
+        source: u32,
+        window_ns: u64,
+        step_ns: u64,
+        end_ns: u64,
+    ) -> Vec<(f64, f64)> {
         assert!(window_ns > 0 && step_ns > 0);
         let mut times = match self.events.get(&source) {
             Some(v) => v.clone(),

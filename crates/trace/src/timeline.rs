@@ -51,8 +51,7 @@ impl Timeline {
     pub fn busy_by_class(&self) -> BTreeMap<ThreadClass, BusyTime> {
         let mut out: BTreeMap<ThreadClass, BusyTime> = BTreeMap::new();
         for s in &self.spans {
-            *out
-                .entry(s.class)
+            *out.entry(s.class)
                 .or_default()
                 .per_kind
                 .entry(s.kind)
@@ -118,7 +117,14 @@ mod tests {
     use super::*;
 
     fn span(class: ThreadClass, lane: u32, kind: TaskKind, start: u64, end: u64) -> Span {
-        Span { class, lane, kind, start_ns: start, end_ns: end, tag: 0 }
+        Span {
+            class,
+            lane,
+            kind,
+            start_ns: start,
+            end_ns: end,
+            tag: 0,
+        }
     }
 
     #[test]
@@ -148,9 +154,7 @@ mod tests {
 
     #[test]
     fn utilization_full_lane() {
-        let tl = Timeline::new(vec![
-            span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 100),
-        ]);
+        let tl = Timeline::new(vec![span(ThreadClass::Gpu, 0, TaskKind::Compare, 0, 100)]);
         assert!((tl.utilization(ThreadClass::Gpu) - 1.0).abs() < 1e-12);
         assert_eq!(tl.utilization(ThreadClass::Io), 0.0);
     }

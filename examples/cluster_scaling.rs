@@ -19,9 +19,7 @@ fn main() {
     // DAS-5 hardware (11 GB usable device memory, 40 GB host cache).
     let scale = 10u64;
     let w = profiles::forensics().scaled(scale);
-    let slots = |gb: f64| {
-        ((gb * 1e9 / w.item_bytes as f64 / scale as f64) as usize).max(2)
-    };
+    let slots = |gb: f64| ((gb * 1e9 / w.item_bytes as f64 / scale as f64) as usize).max(2);
     let node = SimNodeConfig {
         gpus: vec![DeviceProfile::titanx_maxwell()],
         device_slots: slots(11.0),
@@ -33,7 +31,10 @@ fn main() {
         w.items,
         w.pairs()
     );
-    println!("{:>5}  {:>5}  {:>10}  {:>8}  {:>6}  {:>10}", "nodes", "dist", "runtime", "speedup", "R", "IO MB/s");
+    println!(
+        "{:>5}  {:>5}  {:>10}  {:>8}  {:>6}  {:>10}",
+        "nodes", "dist", "runtime", "speedup", "R", "IO MB/s"
+    );
     for dist in [true, false] {
         let mut t1 = None;
         let mut p = 1;

@@ -38,7 +38,9 @@ fn main() {
             .build(),
     );
     let camera_of = dataset.camera_of.clone();
-    let report = runtime.run(app, Arc::new(dataset.store)).expect("run failed");
+    let report = runtime
+        .run(app, Arc::new(dataset.store))
+        .expect("run failed");
 
     println!(
         "compared {} pairs in {:?} | loads {} (R = {:.2}) | host hits {:.0}%",

@@ -34,7 +34,9 @@ fn main() {
             .concurrent_job_limit(4)
             .build(),
     );
-    let report = runtime.run(app, Arc::new(dataset.store)).expect("run failed");
+    let report = runtime
+        .run(app, Arc::new(dataset.store))
+        .expect("run failed");
     println!(
         "registered {} particle pairs in {:?}",
         report.outputs.len(),

@@ -35,7 +35,9 @@ fn main() {
             .concurrent_job_limit(4)
             .build(),
     );
-    let report = runtime.run(app, Arc::new(dataset.store)).expect("run failed");
+    let report = runtime
+        .run(app, Arc::new(dataset.store))
+        .expect("run failed");
     println!(
         "computed {} pairwise distances in {:?} (R = {:.2})",
         report.outputs.len(),

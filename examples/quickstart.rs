@@ -98,9 +98,15 @@ fn main() {
         .build();
 
     let app = Arc::new(Fingerprint { files: 12 });
-    let report = Rocket::new(config).run(app, Arc::new(store)).expect("run failed");
+    let report = Rocket::new(config)
+        .run(app, Arc::new(store))
+        .expect("run failed");
 
-    println!("processed {} pairs in {:?}", report.outputs.len(), report.elapsed);
+    println!(
+        "processed {} pairs in {:?}",
+        report.outputs.len(),
+        report.elapsed
+    );
     println!(
         "loads: {} (R = {:.2}), device cache hit ratio {:.0}%",
         report.total_loads(),

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use rocket::apps::{
-    BioApp, BioConfig, BioDataset, ForensicsApp, ForensicsConfig, ForensicsDataset,
-    MicroscopyApp, MicroscopyConfig, MicroscopyDataset,
+    BioApp, BioConfig, BioDataset, ForensicsApp, ForensicsConfig, ForensicsDataset, MicroscopyApp,
+    MicroscopyConfig, MicroscopyDataset,
 };
 use rocket::core::{Application, Pair, Rocket, RocketConfig, RunReport};
 use rocket::storage::{FaultStore, MemStore, ObjectStore};
@@ -31,7 +31,8 @@ fn oracle<A: Application>(app: &A, store: &dyn ObjectStore) -> Vec<(Pair, A::Out
         app.parse(i, &raw, &mut parsed).expect("oracle parse");
         if app.has_preprocess() {
             let mut item = vec![0u8; app.item_bytes()];
-            app.preprocess(i, &parsed, &mut item).expect("oracle preprocess");
+            app.preprocess(i, &parsed, &mut item)
+                .expect("oracle preprocess");
             items.push(item);
         } else {
             parsed.resize(app.item_bytes(), 0);
@@ -42,8 +43,12 @@ fn oracle<A: Application>(app: &A, store: &dyn ObjectStore) -> Vec<(Pair, A::Out
     for i in 0..n {
         for j in (i + 1)..n {
             let mut result = vec![0u8; app.result_bytes()];
-            app.compare((i, &items[i as usize]), (j, &items[j as usize]), &mut result)
-                .expect("oracle compare");
+            app.compare(
+                (i, &items[i as usize]),
+                (j, &items[j as usize]),
+                &mut result,
+            )
+            .expect("oracle compare");
             let pair = Pair::new(i, j);
             out.push((pair, app.postprocess(pair, &result)));
         }
@@ -55,18 +60,34 @@ fn assert_outputs_match_oracle<O: PartialEq + std::fmt::Debug>(
     report: &RunReport<O>,
     oracle: &[(Pair, O)],
 ) {
-    assert!(report.failed().is_empty(), "failed pairs: {:?}", report.failed());
+    assert!(
+        report.failed().is_empty(),
+        "failed pairs: {:?}",
+        report.failed()
+    );
     let got = report.sorted_outputs();
     assert_eq!(got.len(), oracle.len(), "pair count mismatch");
     for (g, o) in got.iter().zip(oracle) {
         assert_eq!(g.0, o.0, "pair order mismatch");
-        assert!(g.1 == o.1, "output mismatch at {:?}: {:?} vs {:?}", g.0, g.1, o.1);
+        assert!(
+            g.1 == o.1,
+            "output mismatch at {:?}: {:?} vs {:?}",
+            g.0,
+            g.1,
+            o.1
+        );
     }
 }
 
 #[test]
 fn forensics_matches_sequential_oracle() {
-    let cfg = ForensicsConfig { images: 14, cameras: 3, width: 48, height: 48, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 14,
+        cameras: 3,
+        width: 48,
+        height: 48,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let app = ForensicsApp::new(&cfg);
     let expected = oracle(&app, &ds.store);
@@ -79,7 +100,12 @@ fn forensics_matches_sequential_oracle() {
 
 #[test]
 fn bioinformatics_matches_sequential_oracle() {
-    let cfg = BioConfig { species: 12, clusters: 3, proteome_len: 2000, ..Default::default() };
+    let cfg = BioConfig {
+        species: 12,
+        clusters: 3,
+        proteome_len: 2000,
+        ..Default::default()
+    };
     let ds = BioDataset::generate(cfg.clone());
     let app = BioApp::new(&cfg);
     let expected = oracle(&app, &ds.store);
@@ -95,7 +121,10 @@ fn bioinformatics_matches_sequential_oracle() {
 
 #[test]
 fn microscopy_runs_without_preprocess_stage() {
-    let cfg = MicroscopyConfig { particles: 8, ..Default::default() };
+    let cfg = MicroscopyConfig {
+        particles: 8,
+        ..Default::default()
+    };
     let ds = MicroscopyDataset::generate(cfg.clone());
     let app = MicroscopyApp::new(&cfg);
     let expected = oracle(&app, &ds.store);
@@ -107,7 +136,13 @@ fn microscopy_runs_without_preprocess_stage() {
 
 #[test]
 fn multi_node_cluster_produces_identical_results() {
-    let cfg = ForensicsConfig { images: 12, cameras: 3, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 12,
+        cameras: 3,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let app = ForensicsApp::new(&cfg);
     let expected = oracle(&app, &ds.store);
@@ -139,7 +174,13 @@ fn multi_node_cluster_produces_identical_results() {
 
 #[test]
 fn distributed_cache_reduces_cluster_loads() {
-    let cfg = ForensicsConfig { images: 16, cameras: 4, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 16,
+        cameras: 4,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let make = |dist: bool| {
         let ds = ForensicsDataset::generate(cfg.clone());
         let app = ForensicsApp::new(&cfg);
@@ -153,7 +194,12 @@ fn distributed_cache_reduces_cluster_loads() {
         Rocket::run_cluster(
             Arc::new(app),
             Arc::new(ds.store),
-            vec![node_cfg.clone(), node_cfg.clone(), node_cfg.clone(), node_cfg],
+            vec![
+                node_cfg.clone(),
+                node_cfg.clone(),
+                node_cfg.clone(),
+                node_cfg,
+            ],
         )
         .expect("cluster run")
     };
@@ -172,7 +218,13 @@ fn distributed_cache_reduces_cluster_loads() {
 
 #[test]
 fn transient_storage_faults_are_retried() {
-    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 8,
+        cameras: 2,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let app = ForensicsApp::new(&cfg);
     let expected = oracle(&app, &ds.store);
@@ -194,7 +246,13 @@ fn transient_storage_faults_are_retried() {
 #[test]
 fn missing_files_fail_only_dependent_pairs() {
     // Item 3's file is absent: the 7 pairs touching it fail, the rest run.
-    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 8,
+        cameras: 2,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let partial = MemStore::new();
     for key in ds.store.list() {
@@ -214,13 +272,22 @@ fn missing_files_fail_only_dependent_pairs() {
         .run(Arc::new(ForensicsApp::new(&cfg)), Arc::new(partial))
         .expect("run");
     assert_eq!(report.failed().len(), 7, "failed: {:?}", report.failed());
-    assert!(report.failed().iter().all(|(p, _)| p.left == 3 || p.right == 3));
+    assert!(report
+        .failed()
+        .iter()
+        .all(|(p, _)| p.left == 3 || p.right == 3));
     assert_eq!(report.outputs.len(), 8 * 7 / 2 - 7);
 }
 
 #[test]
 fn tracing_captures_all_pipeline_stages() {
-    let cfg = ForensicsConfig { images: 8, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 8,
+        cameras: 2,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let report = Rocket::new(small_config())
         .run(Arc::new(ForensicsApp::new(&cfg)), Arc::new(ds.store))
@@ -243,7 +310,13 @@ fn tracing_captures_all_pipeline_stages() {
 #[test]
 fn tiny_caches_still_complete() {
     // Stress the back-pressure/livelock protections: minimum legal caches.
-    let cfg = ForensicsConfig { images: 10, cameras: 2, width: 32, height: 32, ..Default::default() };
+    let cfg = ForensicsConfig {
+        images: 10,
+        cameras: 2,
+        width: 32,
+        height: 32,
+        ..Default::default()
+    };
     let ds = ForensicsDataset::generate(cfg.clone());
     let config = RocketConfig::builder()
         .devices(1)

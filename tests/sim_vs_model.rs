@@ -122,11 +122,15 @@ fn r_factor_decreases_with_cluster_size() {
         device_slots: slots(11.0),
         host_slots: slots(80.0),
     };
-    let r_of = |p: usize| simulate(&SimConfig::cluster(w.clone(), vec![node.clone(); p])).r_factor();
+    let r_of =
+        |p: usize| simulate(&SimConfig::cluster(w.clone(), vec![node.clone(); p])).r_factor();
     let r1 = r_of(1);
     let r4 = r_of(4);
     let r8 = r_of(8);
-    assert!(r1 > r4 && r4 > r8, "R sequence {r1:.2} → {r4:.2} → {r8:.2} not decreasing");
+    assert!(
+        r1 > r4 && r4 > r8,
+        "R sequence {r1:.2} → {r4:.2} → {r8:.2} not decreasing"
+    );
     assert!(r1 > 2.0, "single node should thrash: R = {r1:.2}");
 }
 
