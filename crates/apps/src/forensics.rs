@@ -41,7 +41,7 @@ pub struct ForensicsConfig {
     pub height: usize,
     /// PRNU strength (relative per-pixel sensitivity deviation).
     pub prnu_strength: f32,
-    /// Additive readout-noise sigma (in [0,1] pixel units).
+    /// Additive readout-noise sigma (in \[0,1\] pixel units).
     pub readout_noise: f32,
     /// RNG seed.
     pub seed: u64,

@@ -9,63 +9,12 @@
 
 use rocket_stats::Dist;
 
-/// Statistical description of one all-pairs workload.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WorkloadProfile {
-    /// Application name.
-    pub name: &'static str,
-    /// Number of input files (the paper's n).
-    pub items: u64,
-    /// Average file size on disk in bytes.
-    pub file_bytes: u64,
-    /// Pre-processed item size in bytes (= cache slot size).
-    pub item_bytes: u64,
-    /// Parse time on the CPU, seconds.
-    pub parse: Dist,
-    /// Pre-processing kernel time on the baseline GPU, seconds (`None` for
-    /// applications without a pre-processing stage).
-    pub preprocess: Option<Dist>,
-    /// Comparison kernel time on the baseline GPU, seconds.
-    pub compare: Dist,
-    /// Post-processing time on the CPU, seconds.
-    pub postprocess: Dist,
-    /// Device cache slots used in the paper's single-node baseline.
-    pub paper_device_slots: usize,
-    /// Host cache slots used in the paper's single-node baseline.
-    pub paper_host_slots: usize,
-}
-
-impl WorkloadProfile {
-    /// Total number of pairs `n(n−1)/2`.
-    pub fn pairs(&self) -> u64 {
-        self.items * (self.items - 1) / 2
-    }
-
-    /// Mean time of one full load `ℓ` (parse + pre-process), seconds.
-    pub fn mean_load_seconds(&self) -> f64 {
-        use rocket_stats::Distribution;
-        self.parse.mean() + self.preprocess.as_ref().map_or(0.0, |d| d.mean())
-    }
-
-    /// Scales the data-set size by `1/scale`, preserving both the
-    /// cache-slots to items ratio (what the reuse factor R depends on) and
-    /// the compute-to-load balance. `scale = 1` is the paper's full size.
-    ///
-    /// Comparisons are quadratic in n while loads are linear, so shrinking
-    /// n alone would make loading look artificially expensive; multiplying
-    /// the comparison time by the same factor keeps
-    /// `pairs·t_cmp : n·t_load` invariant.
-    pub fn scaled(&self, scale: u64) -> WorkloadProfile {
-        assert!(scale >= 1);
-        let mut p = self.clone();
-        p.items = (p.items / scale).max(4);
-        p.compare = p.compare.scaled_by(scale as f64);
-        let s = |slots: usize| ((slots as u64 / scale) as usize).max(2);
-        p.paper_device_slots = s(p.paper_device_slots);
-        p.paper_host_slots = s(p.paper_host_slots);
-        p
-    }
-}
+/// Re-exported from `rocket-core`, where the [`Scenario`] API consumes it
+/// (the struct moved there with the unified driver API; this alias keeps
+/// `rocket_apps::WorkloadProfile` paths working).
+///
+/// [`Scenario`]: rocket_core::Scenario
+pub use rocket_core::WorkloadProfile;
 
 const MS: f64 = 1e-3;
 

@@ -11,7 +11,7 @@ fn bench_codec(c: &mut Criterion) {
     let probe = NodeMsg::Dir(DirectoryMsg::Probe {
         item: 123_456,
         requester: 7,
-        rest: vec![1, 2, 3],
+        rest: [1, 2, 3].into_iter().collect(),
         hop: 2,
     });
     group.bench_function("encode_probe", |b| {

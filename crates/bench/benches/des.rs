@@ -1,18 +1,31 @@
 //! Micro-benchmarks for the discrete-event simulator: raw event-queue
-//! throughput and full cluster-simulation rate (pairs simulated/second).
+//! throughput (both schedulers) and full cluster-simulation rate (pairs
+//! simulated/second) through the unified `Scenario`/`Backend` API.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use rocket_apps::WorkloadProfile;
-use rocket_sim::{simulate, EventQueue, SimConfig, SimNodeConfig};
+use rocket_core::{Backend, NodeSpec, Scenario, WorkloadProfile};
+use rocket_sim::{CalendarQueue, EventQueue, SimBackend, SlabEventQueue};
 use rocket_stats::Dist;
 
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
     group.throughput(Throughput::Elements(1));
     group.bench_function("schedule_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut q: SlabEventQueue<u64> = SlabEventQueue::new();
         let mut t = 0u64;
         // Keep a standing population of 1024 events.
+        for i in 0..1024 {
+            q.schedule_at(i, i);
+        }
+        b.iter(|| {
+            let (at, _) = q.pop().expect("event");
+            t = at + 1000;
+            q.schedule_at(black_box(t), t);
+        });
+    });
+    group.bench_function("schedule_pop_calendar", |b| {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut t = 0u64;
         for i in 0..1024 {
             q.schedule_at(i, i);
         }
@@ -40,32 +53,49 @@ fn toy_workload(items: u64) -> WorkloadProfile {
     }
 }
 
+fn scenario(items: u64, nodes: usize, node: NodeSpec) -> Scenario {
+    Scenario::builder()
+        .workload(toy_workload(items))
+        .nodes(nodes, node)
+        .build()
+}
+
+fn run_pairs(s: &Scenario) -> u64 {
+    SimBackend::new().run(black_box(s)).expect("sim run").pairs
+}
+
 fn bench_cluster(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_sim");
     group.sample_size(10);
     let n = 96u64;
     group.throughput(Throughput::Elements(n * (n - 1) / 2));
     group.bench_function("single_node_n96", |b| {
-        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(1, 32, 64)]);
-        b.iter(|| simulate(black_box(&cfg)).pairs);
+        let s = scenario(n, 1, NodeSpec::uniform(1, 32, 64));
+        b.iter(|| run_pairs(&s));
     });
     group.bench_function("four_nodes_n96_distcache", |b| {
-        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(1, 16, 32); 4]);
-        b.iter(|| simulate(black_box(&cfg)).pairs);
+        let s = scenario(n, 4, NodeSpec::uniform(1, 16, 32));
+        b.iter(|| run_pairs(&s));
     });
     group.finish();
 }
 
 fn bench_large_cluster(c: &mut Criterion) {
     // The scaling configuration the hot-path overhaul targets: 64 GPUs over
-    // 16 nodes, n=256 items (32 640 pairs), distributed cache on.
+    // 16 nodes, n=256 items (32 640 pairs), distributed cache on — once per
+    // event scheduler (results are identical; speed may differ).
     let mut group = c.benchmark_group("cluster_sim");
     group.sample_size(10);
     let n = 256u64;
     group.throughput(Throughput::Elements(n * (n - 1) / 2));
     group.bench_function("sixteen_nodes_4gpu_n256_distcache", |b| {
-        let cfg = SimConfig::cluster(toy_workload(n), vec![SimNodeConfig::uniform(4, 24, 96); 16]);
-        b.iter(|| simulate(black_box(&cfg)).pairs);
+        let s = scenario(n, 16, NodeSpec::uniform(4, 24, 96));
+        b.iter(|| run_pairs(&s));
+    });
+    group.bench_function("sixteen_nodes_4gpu_n256_distcache_calendar", |b| {
+        let mut s = scenario(n, 16, NodeSpec::uniform(4, 24, 96));
+        s.calendar_queue = true;
+        b.iter(|| run_pairs(&s));
     });
     group.finish();
 }

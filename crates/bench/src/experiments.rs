@@ -2,12 +2,14 @@
 //! (§6). Each driver returns a human-readable report and writes CSV series
 //! under the results directory.
 //!
-//! The multi-node experiments run on the discrete-event simulator
-//! parameterized with the paper's Table 1 stage times; `table1` and part of
-//! `fig7` run the *real* applications through the threaded runtime on
-//! synthetic data. Data-set sizes are divided by a per-experiment scale
-//! factor (cache slots scale along, preserving the slots-to-items ratio
-//! that the reuse factor R depends on); EXPERIMENTS.md records the scales.
+//! Every driver describes its runs as [`Scenario`]s and executes them
+//! through the unified [`Backend`] API: the multi-node experiments run on
+//! [`SimBackend`] (the discrete-event simulator parameterized with the
+//! paper's Table 1 stage times); `table1` and part of `fig7` run the
+//! *real* applications through [`ThreadedBackend`] on synthetic data.
+//! Data-set sizes are divided by a per-experiment scale factor (cache
+//! slots scale along, preserving the slots-to-items ratio that the reuse
+//! factor R depends on).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -16,9 +18,11 @@ use rocket_apps::{profiles, WorkloadProfile};
 use rocket_apps::{BioApp, BioConfig, BioDataset};
 use rocket_apps::{ForensicsApp, ForensicsConfig, ForensicsDataset};
 use rocket_apps::{MicroscopyApp, MicroscopyConfig, MicroscopyDataset};
-use rocket_core::{Application, Rocket, RocketConfig};
+use rocket_core::{
+    Application, Backend, NodeSpec, Replications, RunReport, Scenario, ThreadedBackend,
+};
 use rocket_gpu::DeviceProfile;
-use rocket_sim::{model, simulate, SimConfig, SimNodeConfig, SimResult};
+use rocket_sim::{model, SimBackend};
 use rocket_stats::{Distribution, Histogram, OnlineStats, Xoshiro256};
 use rocket_trace::TaskKind;
 
@@ -47,6 +51,9 @@ pub enum Experiment {
     Fig14,
     /// Fig 15: large-scale run, 1–48 nodes × 2 GPUs.
     Fig15,
+    /// Cartesius-scale 96-GPU distributed-cache sweep with replicated
+    /// confidence intervals (beyond the paper's figures).
+    Cartesius96,
     /// §6.1 model sanity: closed form vs simulation at R = 1.
     Model,
 }
@@ -63,6 +70,7 @@ pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
     ("fig13", Experiment::Fig13),
     ("fig14", Experiment::Fig14),
     ("fig15", Experiment::Fig15),
+    ("cartesius96", Experiment::Cartesius96),
     ("model", Experiment::Model),
 ];
 
@@ -112,18 +120,27 @@ fn slots_for(mem_bytes: f64, w: &WorkloadProfile, scale: u64) -> usize {
 
 /// The paper's single-node baseline: one TitanX Maxwell with ~11 GB of
 /// usable device memory and a 40 GB host cache.
-fn baseline_node(w: &WorkloadProfile, scale: u64) -> SimNodeConfig {
-    SimNodeConfig {
+fn baseline_node(w: &WorkloadProfile, scale: u64) -> NodeSpec {
+    NodeSpec {
         gpus: vec![DeviceProfile::titanx_maxwell()],
         device_slots: slots_for(11e9, w, scale),
         host_slots: slots_for(40e9, w, scale),
     }
 }
 
-fn sim_defaults(w: &WorkloadProfile, nodes: Vec<SimNodeConfig>, opts: &ExpOptions) -> SimConfig {
-    let mut cfg = SimConfig::cluster(w.clone(), nodes);
-    cfg.seed = opts.seed;
-    cfg
+/// A simulation scenario over explicit (possibly heterogeneous) nodes with
+/// the experiment seed applied.
+fn scenario_of(w: &WorkloadProfile, nodes: Vec<NodeSpec>, opts: &ExpOptions) -> Scenario {
+    let mut b = Scenario::builder().workload(w.clone()).seed(opts.seed);
+    for node in nodes {
+        b = b.node(node);
+    }
+    b.build()
+}
+
+/// Runs one scenario on the simulator backend.
+fn sim_run(scenario: &Scenario) -> RunReport {
+    SimBackend::new().run(scenario).expect("simulation run")
 }
 
 /// Runs one experiment, writes its artifacts, and returns the report text.
@@ -139,6 +156,7 @@ pub fn run_experiment(exp: Experiment, opts: &ExpOptions) -> String {
         Experiment::Fig13 => fig13(opts),
         Experiment::Fig14 => fig14(opts),
         Experiment::Fig15 => fig15(opts),
+        Experiment::Cartesius96 => cartesius96(opts),
         Experiment::Model => model_check(opts),
     };
     let name = ALL_EXPERIMENTS
@@ -177,17 +195,22 @@ where
 {
     let raw_bytes = store.total_bytes();
     let n = app.item_count();
-    let config = RocketConfig::builder()
-        .devices(devices)
-        .device_cache_slots((n as usize / 2).max(4))
-        .host_cache_slots(n as usize)
-        .concurrent_job_limit(16)
+    let scenario = Scenario::builder()
+        .items(n)
+        .node(NodeSpec::uniform(
+            devices,
+            (n as usize / 2).max(4),
+            n as usize,
+        ))
+        .job_limit(16)
         .cpu_threads(2)
         .tracing(true)
         .build();
     let item_bytes = app.item_bytes() as u64;
     let has_pre = app.has_preprocess();
-    let report = Rocket::new(config).run(app, store).expect("run");
+    let report = ThreadedBackend::new(app, store)
+        .run_app(&scenario)
+        .expect("run");
     let timeline = report.timeline();
     let stat_of = |kind: TaskKind| {
         let mut s = OnlineStats::new();
@@ -345,17 +368,6 @@ fn fig7(opts: &ExpOptions) -> String {
 // Fig 8 / Fig 10 — per-thread busy time on one node
 // ---------------------------------------------------------------------------
 
-fn busy_rows(r: &SimResult) -> Vec<(String, f64)> {
-    vec![
-        ("GPU (preprocess)".into(), r.busy_preprocess),
-        ("GPU (compare)".into(), r.busy_compare),
-        ("CPU".into(), r.busy_cpu),
-        ("CPU→GPU".into(), r.busy_h2d),
-        ("GPU→CPU".into(), r.busy_d2h),
-        ("IO".into(), r.busy_io),
-    ]
-}
-
 fn fig8(opts: &ExpOptions) -> String {
     let mut out =
         String::from("Fig 8 — processing time per thread class, one node (TitanX Maxwell)\n\n");
@@ -363,27 +375,27 @@ fn fig8(opts: &ExpOptions) -> String {
     for w in profiles::all() {
         let (w, scale) = scaled(w, opts);
         let node = baseline_node(&w, scale);
-        let cfg = sim_defaults(&w, vec![node], opts);
-        let r = simulate(&cfg);
+        let sc = scenario_of(&w, vec![node], opts);
+        let r = sim_run(&sc);
         let tmin = model::t_min(&w);
-        let eff = model::system_efficiency(&w, &cfg.all_gpus(), r.makespan);
+        let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
         out.push_str(&format!(
             "{} (scale 1/{scale}): runtime {} | T_min {} | efficiency {:.1}%\n",
             w.name,
-            fmt_secs(r.makespan),
+            fmt_secs(r.elapsed),
             fmt_secs(tmin),
             eff * 100.0
         ));
         let mut t = Table::new(&["thread class", "busy", "fraction of runtime"]);
-        for (label, busy) in busy_rows(&r) {
+        for (label, busy) in r.busy.rows() {
             t.row(vec![
-                label.clone(),
+                label.to_string(),
                 fmt_secs(busy),
-                format!("{:.1}%", busy / r.makespan * 100.0),
+                format!("{:.1}%", busy / r.elapsed * 100.0),
             ]);
             csv.push_str(&format!(
                 "{},{},{:.4},{:.4},{:.4}\n",
-                w.name, label, busy, r.makespan, tmin
+                w.name, label, busy, r.elapsed, tmin
             ));
         }
         out.push_str(&t.render());
@@ -403,22 +415,22 @@ fn fig10(opts: &ExpOptions) -> String {
         format!("Fig 10 — forensics per-thread time vs host cache size (scale 1/{scale})\n\n");
     let mut csv = String::from("host_cache_gb,class,busy_s,runtime_s\n");
     for gb in [20.0, 10.0, 5.0] {
-        let node = SimNodeConfig {
+        let node = NodeSpec {
             gpus: vec![DeviceProfile::titanx_maxwell()],
             device_slots: slots_for(11e9, &w, scale).min(slots_for(gb * 1e9, &w, scale)),
             host_slots: slots_for(gb * 1e9, &w, scale),
         };
-        let cfg = sim_defaults(&w, vec![node], opts);
-        let r = simulate(&cfg);
+        let sc = scenario_of(&w, vec![node], opts);
+        let r = sim_run(&sc);
         out.push_str(&format!(
             "host cache {gb} GB: runtime {} | R = {:.1}\n",
-            fmt_secs(r.makespan),
+            fmt_secs(r.elapsed),
             r.r_factor()
         ));
         let mut t = Table::new(&["thread class", "busy"]);
-        for (label, busy) in busy_rows(&r) {
-            t.row(vec![label.clone(), fmt_secs(busy)]);
-            csv.push_str(&format!("{gb},{label},{busy:.4},{:.4}\n", r.makespan));
+        for (label, busy) in r.busy.rows() {
+            t.row(vec![label.to_string(), fmt_secs(busy)]);
+            csv.push_str(&format!("{gb},{label},{busy:.4},{:.4}\n", r.elapsed));
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -451,14 +463,14 @@ fn fig9(opts: &ExpOptions) -> String {
             } else {
                 (paper_slot(11.0), paper_slot(gb))
             };
-            let node = SimNodeConfig {
+            let node = NodeSpec {
                 gpus: vec![DeviceProfile::titanx_maxwell()],
                 device_slots: dev,
                 host_slots: host,
             };
-            let cfg = sim_defaults(&w, vec![node], opts);
-            let r = simulate(&cfg);
-            let eff = model::system_efficiency(&w, &cfg.all_gpus(), r.makespan);
+            let sc = scenario_of(&w, vec![node], opts);
+            let r = sim_run(&sc);
+            let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
             t.row(vec![
                 format!("{gb} GB"),
                 dev.to_string(),
@@ -494,9 +506,9 @@ fn fig11(opts: &ExpOptions) -> String {
     for w in profiles::all() {
         let (w, scale) = scaled(w, opts);
         let nodes = vec![baseline_node(&w, scale); 16];
-        let mut cfg = sim_defaults(&w, nodes, opts);
-        cfg.hops = 3;
-        let r = simulate(&cfg);
+        let mut sc = scenario_of(&w, nodes, opts);
+        sc.hops = 3;
+        let r = sim_run(&sc);
         let lookups = r.directory.lookups().max(1);
         let pct = |x: u64| x as f64 / lookups as f64 * 100.0;
         let hop = |i: usize| r.directory.hits_at_hop.get(i).copied().unwrap_or(0);
@@ -555,16 +567,16 @@ fn fig12(opts: &ExpOptions) -> String {
             let mut t1 = None;
             for &p in &node_counts {
                 let nodes = vec![baseline_node(&w, scale); p];
-                let mut cfg = sim_defaults(&w, nodes, opts);
-                cfg.distributed_cache = dist;
-                let r = simulate(&cfg);
-                let t1v = *t1.get_or_insert(r.makespan);
-                let speedup = t1v / r.makespan;
-                let eff = model::system_efficiency(&w, &cfg.all_gpus(), r.makespan);
+                let mut sc = scenario_of(&w, nodes, opts);
+                sc.distributed_cache = dist;
+                let r = sim_run(&sc);
+                let t1v = *t1.get_or_insert(r.elapsed);
+                let speedup = t1v / r.elapsed;
+                let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
                 t.row(vec![
                     p.to_string(),
                     if dist { "on" } else { "off" }.to_string(),
-                    fmt_secs(r.makespan),
+                    fmt_secs(r.elapsed),
                     format!("{speedup:.2}x"),
                     format!("{:.1}%", eff * 100.0),
                     format!("{:.2}", r.r_factor()),
@@ -575,7 +587,7 @@ fn fig12(opts: &ExpOptions) -> String {
                     w.name,
                     dist,
                     p,
-                    r.makespan,
+                    r.elapsed,
                     speedup,
                     eff,
                     r.r_factor(),
@@ -601,13 +613,13 @@ fn fig12(opts: &ExpOptions) -> String {
 // ---------------------------------------------------------------------------
 
 /// The four heterogeneous nodes of §6.5.
-fn heterogeneous_nodes(w: &WorkloadProfile, scale: u64) -> Vec<SimNodeConfig> {
+fn heterogeneous_nodes(w: &WorkloadProfile, scale: u64) -> Vec<NodeSpec> {
     let mk = |gpus: Vec<DeviceProfile>| {
         let min_mem = gpus
             .iter()
             .map(|g| g.memory_bytes as f64 * 0.92)
             .fold(f64::INFINITY, f64::min);
-        SimNodeConfig {
+        NodeSpec {
             device_slots: slots_for(min_mem, w, scale),
             host_slots: slots_for(40e9, w, scale),
             gpus,
@@ -640,8 +652,8 @@ fn fig13(opts: &ExpOptions) -> String {
         let mut t = Table::new(&["config", "throughput (pairs/s)"]);
         let mut sum = 0.0;
         for (i, node) in nodes.iter().enumerate() {
-            let cfg = sim_defaults(&w, vec![node.clone()], opts);
-            let r = simulate(&cfg);
+            let sc = scenario_of(&w, vec![node.clone()], opts);
+            let r = sim_run(&sc);
             sum += r.throughput();
             t.row(vec![
                 format!("node {}", ["I", "II", "III", "IV"][i]),
@@ -654,8 +666,8 @@ fn fig13(opts: &ExpOptions) -> String {
                 r.throughput()
             ));
         }
-        let cfg = sim_defaults(&w, nodes, opts);
-        let all = simulate(&cfg);
+        let sc = scenario_of(&w, nodes, opts);
+        let all = sim_run(&sc);
         t.row(vec!["sum of nodes".into(), format!("{sum:.1}")]);
         t.row(vec![
             "all (4 nodes)".into(),
@@ -690,11 +702,11 @@ fn fig14(opts: &ExpOptions) -> String {
                 .map(move |g| format!("{} (node {})", g.name, ["I", "II", "III", "IV"][n]))
         })
         .collect();
-    let mut cfg = sim_defaults(&w, nodes, opts);
-    cfg.record_completions = true;
-    let r = simulate(&cfg);
+    let mut sc = scenario_of(&w, nodes, opts);
+    sc.record_completions = true;
+    let r = sim_run(&sc);
     let series = r.completions.as_ref().expect("completions recorded");
-    let end_ns = (r.makespan * 1e9) as u64;
+    let end_ns = (r.elapsed * 1e9) as u64;
     let window = 60_000_000_000u64; // 1-minute rolling average, like the paper
     let step = window / 2;
     let mut csv = String::from("gpu,t_s,pairs_per_s\n");
@@ -732,22 +744,22 @@ fn fig15(opts: &ExpOptions) -> String {
     );
     let mut csv = String::from("nodes,gpus,runtime_s,speedup,r_factor,efficiency\n");
     let mut t = Table::new(&["nodes", "GPUs", "runtime", "speedup", "R", "efficiency"]);
-    let node = |w: &WorkloadProfile| SimNodeConfig {
+    let node = |w: &WorkloadProfile| NodeSpec {
         gpus: vec![DeviceProfile::k40m(), DeviceProfile::k40m()],
         device_slots: slots_for(11e9, w, scale),
         host_slots: slots_for(80e9, w, scale),
     };
     let mut t1 = None;
     for &p in &[1usize, 8, 16, 24, 32, 40, 48] {
-        let cfg = sim_defaults(&w, vec![node(&w); p], opts);
-        let r = simulate(&cfg);
-        let t1v = *t1.get_or_insert(r.makespan);
-        let speedup = t1v / r.makespan;
-        let eff = model::system_efficiency(&w, &cfg.all_gpus(), r.makespan);
+        let sc = scenario_of(&w, vec![node(&w); p], opts);
+        let r = sim_run(&sc);
+        let t1v = *t1.get_or_insert(r.elapsed);
+        let speedup = t1v / r.elapsed;
+        let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
         t.row(vec![
             p.to_string(),
             (2 * p).to_string(),
-            fmt_secs(r.makespan),
+            fmt_secs(r.elapsed),
             format!("{speedup:.1}x"),
             format!("{:.1}", r.r_factor()),
             format!("{:.1}%", eff * 100.0),
@@ -755,7 +767,7 @@ fn fig15(opts: &ExpOptions) -> String {
         csv.push_str(&format!(
             "{p},{},{:.4},{speedup:.4},{:.4},{eff:.4}\n",
             2 * p,
-            r.makespan,
+            r.elapsed,
             r.r_factor()
         ));
     }
@@ -765,6 +777,94 @@ fn fig15(opts: &ExpOptions) -> String {
          going 1 → 48 nodes) and speedup stays super-linear throughout.\n",
     );
     write_result(&opts.out_dir, "fig15.csv", &csv);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cartesius 96-GPU sweep (beyond the paper's figures)
+// ---------------------------------------------------------------------------
+
+/// Distributed-cache sweep up to the full Cartesius allocation (48 nodes ×
+/// 2 Tesla K40m = 96 GPUs) on the large bioinformatics workload, plus a
+/// replicated confidence-interval run at the 96-GPU point: 8 independent
+/// seeds in parallel on the thread pool, reported as mean ± 95% CI.
+fn cartesius96(opts: &ExpOptions) -> String {
+    let scale = 10 * opts.extra_scale.max(1);
+    let w = profiles::bioinformatics_large().scaled(scale);
+    let node = NodeSpec {
+        gpus: vec![DeviceProfile::k40m(), DeviceProfile::k40m()],
+        device_slots: slots_for(11e9, &w, scale),
+        host_slots: slots_for(80e9, &w, scale),
+    };
+    let mut out = format!(
+        "Cartesius 96-GPU sweep — bioinformatics-large (scale 1/{scale}),\n\
+         2x Tesla K40m per node, distributed cache on vs off, calendar-queue\n\
+         scheduler at the largest sizes\n\n",
+    );
+    let mut csv = String::from("dist_cache,nodes,gpus,runtime_s,r_factor,throughput,io_mbps\n");
+    let mut t = Table::new(&[
+        "nodes", "GPUs", "dist", "runtime", "R", "pairs/s", "IO MB/s",
+    ]);
+    for &dist in &[true, false] {
+        for &p in &[12usize, 24, 48] {
+            let mut sc = scenario_of(&w, vec![node.clone(); p], opts);
+            sc.distributed_cache = dist;
+            // The calendar queue is built for exactly this population size;
+            // results are identical to the slab heap (tested), so the sweep
+            // doubles as a large-scale exercise of that scheduler.
+            sc.calendar_queue = p >= 48;
+            let r = sim_run(&sc);
+            t.row(vec![
+                p.to_string(),
+                (2 * p).to_string(),
+                if dist { "on" } else { "off" }.to_string(),
+                fmt_secs(r.elapsed),
+                format!("{:.2}", r.r_factor()),
+                format!("{:.1}", r.throughput()),
+                format!("{:.1}", r.avg_io_mbps()),
+            ]);
+            csv.push_str(&format!(
+                "{dist},{p},{},{:.4},{:.4},{:.4},{:.4}\n",
+                2 * p,
+                r.elapsed,
+                r.r_factor(),
+                r.throughput(),
+                r.avg_io_mbps()
+            ));
+        }
+    }
+    out.push_str(&t.render());
+
+    // Replicated 96-GPU point: stage times are stochastic, so report the
+    // headline metrics with confidence intervals over 8 seeds.
+    let sc = scenario_of(&w, vec![node; 48], opts);
+    let reps = Replications::new(opts.seed, 8)
+        .run(&SimBackend::new(), &sc)
+        .expect("replicated runs");
+    out.push_str(&format!(
+        "\n96-GPU point, {}:\n  runtime    {} s\n  R          {}\n  throughput {} pairs/s\n",
+        reps.summary().split('|').next().unwrap_or("").trim(),
+        reps.elapsed.avg_pm_ci95(),
+        reps.r_factor.avg_pm_ci95(),
+        reps.throughput.avg_pm_ci95(),
+    ));
+    let mut rep_csv = String::from("seed,runtime_s,r_factor,throughput\n");
+    for (seed, run) in reps.seeds.iter().zip(&reps.runs) {
+        rep_csv.push_str(&format!(
+            "{seed},{:.4},{:.4},{:.4}\n",
+            run.elapsed,
+            run.r_factor(),
+            run.throughput()
+        ));
+    }
+    out.push_str(
+        "\nShape check: with the distributed cache on, the 96-GPU run keeps\n\
+         R low and I/O flat; off, R and I/O grow with node count. CI widths\n\
+         are small relative to the means (the workload is stochastic but\n\
+         well-averaged).\n",
+    );
+    write_result(&opts.out_dir, "cartesius96.csv", &csv);
+    write_result(&opts.out_dir, "cartesius96_replications.csv", &rep_csv);
     out
 }
 
@@ -779,9 +879,9 @@ fn model_check(opts: &ExpOptions) -> String {
     for w in profiles::all() {
         let (w, _) = scaled(w, opts);
         // Caches big enough for the whole (scaled) data set → R = 1.
-        let node = SimNodeConfig::uniform(1, w.items as usize, w.items as usize);
-        let cfg = sim_defaults(&w, vec![node], opts);
-        let r = simulate(&cfg);
+        let node = NodeSpec::uniform(1, w.items as usize, w.items as usize);
+        let sc = scenario_of(&w, vec![node], opts);
+        let r = sim_run(&sc);
         assert!(
             (r.r_factor() - 1.0).abs() < 1e-9,
             "{}: R = {}",
@@ -789,16 +889,16 @@ fn model_check(opts: &ExpOptions) -> String {
             r.r_factor()
         );
         let tmin = model::t_min(&w);
-        let ratio = r.makespan / tmin;
+        let ratio = r.elapsed / tmin;
         t.row(vec![
             w.name.to_string(),
             fmt_secs(tmin),
-            fmt_secs(r.makespan),
+            fmt_secs(r.elapsed),
             format!("{ratio:.3}"),
         ]);
         csv.push_str(&format!(
             "{},{tmin:.4},{:.4},{ratio:.4}\n",
-            w.name, r.makespan
+            w.name, r.elapsed
         ));
     }
     out.push_str(&t.render());
@@ -856,9 +956,26 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL_EXPERIMENTS.len(), 11);
+        assert_eq!(ALL_EXPERIMENTS.len(), 12);
         let names: Vec<&str> = ALL_EXPERIMENTS.iter().map(|&(n, _)| n).collect();
         assert!(names.contains(&"table1"));
         assert!(names.contains(&"fig15"));
+        assert!(names.contains(&"cartesius96"));
+    }
+
+    #[test]
+    fn cartesius96_runs_at_tiny_scale() {
+        // extra_scale 20 shrinks the workload to 34 items; the sweep and
+        // its 8-seed replication must still complete and report CIs.
+        let opts = ExpOptions {
+            extra_scale: 20,
+            ..tiny_opts()
+        };
+        let report = cartesius96(&opts);
+        assert!(report.contains("96"), "missing gpu column: {report}");
+        assert!(report.contains('±'), "missing CI: {report}");
+        let csv =
+            std::fs::read_to_string(opts.out_dir.join("cartesius96_replications.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 9, "8 replications + header");
     }
 }

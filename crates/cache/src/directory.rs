@@ -30,11 +30,94 @@ use crate::fxhash::FxHashMap;
 /// Cluster node identifier (rank), `0..p`.
 pub type NodeId = usize;
 
+/// Maximum probe depth `h` the protocol supports (and therefore the
+/// longest candidate chain a [`DirectoryMsg::Probe`] ever carries inline).
+///
+/// The paper evaluates `h ∈ {1, 2, 3}` and runs production configurations
+/// at `h = 1`; eight is comfortably above anything useful while keeping
+/// probe messages heap-free.
+pub const MAX_HOPS: usize = 8;
+
+/// Inline, fixed-capacity candidate chain carried by probe messages.
+///
+/// Replaces the old `Vec<NodeId>` hop list: directory traffic is the
+/// hottest message class of the simulator (and the only per-message heap
+/// user), so the chain is stored in-message — `Copy`, no allocation, no
+/// drop. Capacity is [`MAX_HOPS`] entries (the protocol itself only ever
+/// needs `h − 1 ≤ MAX_HOPS − 1` for a probe's *rest* list, since the
+/// first candidate is addressed directly); `push` beyond capacity
+/// saturates, which is always legal because the protocol is best effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HopChain {
+    len: u8,
+    nodes: [u32; MAX_HOPS],
+}
+
+impl HopChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates in the chain.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a candidate; silently drops it if the chain is full (the
+    /// lookup then simply probes fewer peers — a missed-reuse, never an
+    /// error).
+    pub fn push(&mut self, node: NodeId) {
+        if (self.len as usize) < MAX_HOPS {
+            self.nodes[self.len as usize] = u32::try_from(node).expect("node id fits u32");
+            self.len += 1;
+        }
+    }
+
+    /// Removes and returns the first candidate.
+    pub fn take_first(&mut self) -> Option<NodeId> {
+        if self.len == 0 {
+            return None;
+        }
+        let first = self.nodes[0] as NodeId;
+        self.nodes.copy_within(1..self.len as usize, 0);
+        self.len -= 1;
+        // Clear the vacated slot: the derived `PartialEq` compares the
+        // whole array, so a stale tail would make logically equal chains
+        // (e.g. a forwarded probe vs its wire round-trip) compare unequal.
+        self.nodes[self.len as usize] = 0;
+        Some(first)
+    }
+
+    /// Iterates the candidates front to back.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[..self.len as usize].iter().map(|&n| n as NodeId)
+    }
+}
+
+impl FromIterator<NodeId> for HopChain {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut chain = Self::new();
+        for n in iter {
+            chain.push(n);
+        }
+        chain
+    }
+}
+
 /// Protocol messages. Data transfer itself is out of band: on a hit the
 /// holder replies [`DirectoryMsg::Found`] and the caller moves the bytes
 /// (the simulator charges the network model; the threaded runtime sends the
 /// payload over the transport).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Messages are `Copy` — the probe candidate chain lives inline in a
+/// [`HopChain`], so forwarding a message never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirectoryMsg {
     /// Requester → mediator: who has `item`?
     Request {
@@ -50,7 +133,7 @@ pub enum DirectoryMsg {
         /// The node that wants the item.
         requester: NodeId,
         /// Remaining candidates to try after the receiver.
-        rest: Vec<NodeId>,
+        rest: HopChain,
         /// 1-based index of this probe in the chain (for Fig 11's
         /// hit-at-hop statistics).
         hop: u8,
@@ -145,7 +228,9 @@ pub enum Resolution {
 
 impl Directory {
     /// Creates the directory shard for `node` in a cluster of `nodes` nodes
-    /// with maximum probe depth `h ≥ 1`.
+    /// with maximum probe depth `h` (`1 ≤ h ≤` [`MAX_HOPS`]; larger values
+    /// are clamped — probe chains are carried inline and the paper shows
+    /// hops beyond the first contribute almost nothing).
     pub fn new(node: NodeId, nodes: usize, h: usize) -> Self {
         assert!(nodes > 0, "cluster must have at least one node");
         assert!(node < nodes, "node id out of range");
@@ -153,7 +238,7 @@ impl Directory {
         Self {
             node,
             nodes,
-            h,
+            h: h.min(MAX_HOPS),
             candidates: FxHashMap::default(),
             stats: DirectoryStats::default(),
         }
@@ -209,7 +294,7 @@ impl Directory {
                     self.node,
                     "request routed to wrong mediator"
                 );
-                let chain: Vec<NodeId> = self
+                let chain: HopChain = self
                     .candidates
                     .get(&item)
                     .map(|c| c.iter().copied().collect())
@@ -222,12 +307,10 @@ impl Directory {
                 entry.truncate(self.h);
                 // Skip the requester itself: probing A for A's own request
                 // is allowed by the paper but always useless.
-                let mut chain: VecDeque<NodeId> =
-                    chain.into_iter().filter(|&n| n != requester).collect();
-                match chain.pop_front() {
+                let mut chain: HopChain = chain.iter().filter(|&n| n != requester).collect();
+                match chain.take_first() {
                     Some(first) => {
-                        let rest: Vec<NodeId> =
-                            chain.into_iter().take(self.h.saturating_sub(1)).collect();
+                        let rest: HopChain = chain.iter().take(self.h.saturating_sub(1)).collect();
                         self.stats.messages_sent += 1;
                         (
                             vec![(
@@ -278,7 +361,7 @@ impl Directory {
                         Resolution::InFlight,
                     );
                 }
-                let next = rest.remove(0);
+                let next = rest.take_first().expect("chain non-empty");
                 self.stats.messages_sent += 1;
                 (
                     vec![(
@@ -462,6 +545,55 @@ mod tests {
         assert_eq!(a.misses, 3);
         assert_eq!(a.lookups(), 12);
         assert_eq!(a.messages_sent, 17);
+    }
+
+    #[test]
+    fn hop_chain_push_take_order() {
+        let mut c = HopChain::new();
+        assert!(c.is_empty());
+        for n in [3usize, 1, 4, 1, 5] {
+            c.push(n);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(c.take_first(), Some(3));
+        assert_eq!(c.take_first(), Some(1));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![4, 1, 5]);
+    }
+
+    #[test]
+    fn hop_chain_saturates_at_capacity() {
+        let mut c = HopChain::new();
+        for n in 0..(MAX_HOPS + 5) {
+            c.push(n);
+        }
+        assert_eq!(c.len(), MAX_HOPS);
+        assert_eq!(c.iter().last(), Some(MAX_HOPS - 1));
+        // Draining works all the way down.
+        let mut drained = Vec::new();
+        while let Some(n) = c.take_first() {
+            drained.push(n);
+        }
+        assert_eq!(drained, (0..MAX_HOPS).collect::<Vec<_>>());
+        assert_eq!(c.take_first(), None);
+    }
+
+    #[test]
+    fn hop_chain_equality_ignores_consumed_prefix() {
+        // Regression: take_first must not leave stale tail garbage that
+        // the derived PartialEq would compare (forwarded probes vs their
+        // wire round-trips must stay equal).
+        let mut advanced: HopChain = [9usize, 2, 3].into_iter().collect();
+        assert_eq!(advanced.take_first(), Some(9));
+        let fresh: HopChain = [2usize, 3].into_iter().collect();
+        assert_eq!(advanced, fresh);
+    }
+
+    #[test]
+    fn oversized_h_is_clamped() {
+        let d = Directory::new(0, 4, 100);
+        assert_eq!(d.h, MAX_HOPS);
     }
 
     #[test]

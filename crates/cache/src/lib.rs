@@ -28,7 +28,9 @@ pub mod lru;
 pub mod slot;
 pub mod stats;
 
-pub use directory::{Directory, DirectoryMsg, DirectoryStats, NodeId, Resolution};
+pub use directory::{
+    Directory, DirectoryMsg, DirectoryStats, HopChain, NodeId, Resolution, MAX_HOPS,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use lru::LruList;
 pub use slot::{ItemId, Lookup, SlotCache, SlotIdx};

@@ -70,6 +70,11 @@ impl Criterion {
                 other => c.filter = Some(other.to_string()),
             }
         }
+        // Make filtering visible: a value swallowed by an unrecognized flag
+        // would otherwise silently skip every benchmark.
+        if let Some(filter) = &c.filter {
+            println!("benchmark filter: {filter:?} (ids not containing it are skipped)");
+        }
         c
     }
 

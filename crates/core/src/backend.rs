@@ -1,0 +1,91 @@
+//! Execution backends: anything that can run a [`Scenario`].
+//!
+//! The [`Backend`] trait is the seam between scenario *description* and
+//! scenario *execution*. Two implementations exist:
+//!
+//! * [`ThreadedBackend`] (here) — the real runtime: threads, virtual GPUs,
+//!   an actual [`Application`] over an object store,
+//! * `rocket_sim::SimBackend` — the discrete-event simulator, which samples
+//!   the scenario's workload profile in virtual time.
+//!
+//! Both produce the same [`RunReport`], so drivers (experiments, the
+//! [`crate::Replications`] runner, examples) are backend-agnostic.
+
+use std::sync::Arc;
+
+use rocket_storage::ObjectStore;
+
+use crate::app::Application;
+use crate::cluster::{AppReport, Rocket};
+use crate::error::RocketError;
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+
+/// An execution engine for [`Scenario`]s.
+///
+/// Implementations must be `Sync`: the [`crate::Replications`] runner
+/// shares one backend across its worker threads.
+pub trait Backend: Sync {
+    /// Short backend identifier (appears in [`RunReport::backend`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario to completion and reports aggregate results.
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError>;
+}
+
+/// The threaded runtime as a [`Backend`]: executes a real
+/// [`Application`] over an [`ObjectStore`] on the in-process cluster the
+/// scenario's topology describes.
+///
+/// The scenario's workload profile contributes only the item count (the
+/// application supplies the actual compute); [`ThreadedBackend::run_app`]
+/// additionally returns the typed per-pair outputs.
+pub struct ThreadedBackend<A: Application> {
+    app: Arc<A>,
+    store: Arc<dyn ObjectStore>,
+}
+
+impl<A: Application> ThreadedBackend<A> {
+    /// Wraps an application and its object store as a backend.
+    pub fn new(app: Arc<A>, store: Arc<dyn ObjectStore>) -> Self {
+        Self { app, store }
+    }
+
+    /// The wrapped application.
+    pub fn app(&self) -> &Arc<A> {
+        &self.app
+    }
+
+    /// Runs the scenario and returns the typed report (per-pair outputs
+    /// included). [`Backend::run`] is this plus [`AppReport::unified`].
+    ///
+    /// The scenario's item count must match the application's — the
+    /// runtime sizes every structure from the app, so a mismatch means
+    /// the topology/caches were designed for a different data set.
+    pub fn run_app(&self, scenario: &Scenario) -> Result<AppReport<A::Output>, RocketError> {
+        scenario.validate().map_err(RocketError::Config)?;
+        if scenario.workload.items != self.app.item_count() {
+            return Err(RocketError::Config(format!(
+                "scenario describes {} items but application `{}` has {}",
+                scenario.workload.items,
+                self.app.name(),
+                self.app.item_count()
+            )));
+        }
+        Rocket::run_cluster(
+            Arc::clone(&self.app),
+            Arc::clone(&self.store),
+            scenario.node_configs(),
+        )
+    }
+}
+
+impl<A: Application> Backend for ThreadedBackend<A> {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError> {
+        Ok(self.run_app(scenario)?.unified(scenario))
+    }
+}

@@ -16,14 +16,20 @@ use crate::app::Application;
 use crate::config::RocketConfig;
 use crate::engine::node::{spawn_node, NodeReport};
 use crate::error::RocketError;
+use crate::report::{BusyTimes, RunReport};
+use crate::scenario::Scenario;
 
-/// Outcome of a full all-pairs run.
+/// Outcome of a full all-pairs run of a real [`Application`], including
+/// the typed per-pair outputs.
+///
+/// (Formerly named `RunReport`; that name now denotes the backend-agnostic
+/// aggregate report, which [`AppReport::unified`] produces.)
 #[derive(Debug)]
-pub struct RunReport<O> {
+pub struct AppReport<O> {
     /// Number of items in the data set.
     pub items: u64,
     /// Per-pair outputs (submission order; use
-    /// [`RunReport::sorted_outputs`] for a canonical order).
+    /// [`AppReport::sorted_outputs`] for a canonical order).
     pub outputs: Vec<(Pair, O)>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
@@ -33,7 +39,7 @@ pub struct RunReport<O> {
     pub steal: StealStats,
 }
 
-impl<O> RunReport<O> {
+impl<O> AppReport<O> {
     /// Total executions of the load pipeline ℓ across the cluster.
     pub fn total_loads(&self) -> u64 {
         self.nodes.iter().map(|n| n.loads).sum()
@@ -101,6 +107,62 @@ impl<O> RunReport<O> {
                 .collect(),
         )
     }
+
+    /// Folds this typed report into the backend-agnostic [`RunReport`].
+    ///
+    /// `scenario` supplies the topology (to roll per-worker steal counters
+    /// up into per-node pair counts). Busy times come from the trace when
+    /// tracing was enabled, zero otherwise; `io_bytes`/`net_bytes` are not
+    /// tracked by the threaded runtime and report as zero.
+    pub fn unified(&self, scenario: &Scenario) -> RunReport {
+        use rocket_trace::TaskKind;
+        let timeline = self.timeline();
+        // One pass over the (O(pairs)-sized) span list folds every class.
+        let mut busy = BusyTimes::default();
+        for span in timeline.spans() {
+            let secs = span.duration_ns() as f64 / 1e9;
+            match span.kind {
+                TaskKind::Preprocess => busy.preprocess += secs,
+                TaskKind::Compare => busy.compare += secs,
+                TaskKind::CopyIn => busy.h2d += secs,
+                TaskKind::CopyOut => busy.d2h += secs,
+                TaskKind::Parse | TaskKind::Postprocess => busy.cpu += secs,
+                TaskKind::Read => busy.io += secs,
+                // Network/steal overheads have no BusyTimes row.
+                _ => {}
+            }
+        }
+        // steal.pairs_per_worker is indexed by (node, device) in topology
+        // order — fold workers back onto their nodes.
+        let mut pairs_per_node = vec![0u64; scenario.nodes.len()];
+        let mut worker = 0usize;
+        for (node, spec) in scenario.nodes.iter().enumerate() {
+            for _ in 0..spec.gpus.len() {
+                if let Some(&pairs) = self.steal.pairs_per_worker.get(worker) {
+                    pairs_per_node[node] += pairs;
+                }
+                worker += 1;
+            }
+        }
+        RunReport {
+            backend: "threaded",
+            elapsed: self.elapsed.as_secs_f64(),
+            items: self.items,
+            pairs: self.outputs.len() as u64,
+            failed_pairs: self.failed().len() as u64,
+            loads: self.total_loads(),
+            remote_fetches: self.total_remote_fetches(),
+            io_bytes: 0,
+            net_bytes: 0,
+            steals: self.steal.local_steals + self.steal.remote_steals,
+            busy,
+            device_cache: self.device_cache(),
+            host_cache: self.host_cache(),
+            directory: self.directory(),
+            pairs_per_node,
+            completions: None,
+        }
+    }
 }
 
 /// The Rocket runtime front door.
@@ -124,7 +186,7 @@ impl Rocket {
         &self,
         app: Arc<A>,
         store: Arc<dyn ObjectStore>,
-    ) -> Result<RunReport<A::Output>, RocketError> {
+    ) -> Result<AppReport<A::Output>, RocketError> {
         Self::run_cluster(app, store, vec![self.config.clone()])
     }
 
@@ -134,7 +196,7 @@ impl Rocket {
         app: Arc<A>,
         store: Arc<dyn ObjectStore>,
         configs: Vec<RocketConfig>,
-    ) -> Result<RunReport<A::Output>, RocketError> {
+    ) -> Result<AppReport<A::Output>, RocketError> {
         if configs.is_empty() {
             return Err(RocketError::Config("at least one node required".into()));
         }
@@ -205,7 +267,7 @@ impl Rocket {
             .map(|m| m.into_inner())
             .unwrap_or_default();
 
-        Ok(RunReport {
+        Ok(AppReport {
             items: n,
             outputs,
             elapsed,

@@ -1,7 +1,7 @@
 //! Inter-node messages of the threaded cluster runtime.
 
 use bytes::Bytes;
-use rocket_cache::{DirectoryMsg, NodeId};
+use rocket_cache::{DirectoryMsg, HopChain, NodeId, MAX_HOPS};
 use rocket_comm::{Wire, WireError, WireReader, WireWriter};
 
 /// Everything one Rocket node says to another.
@@ -73,7 +73,7 @@ fn encode_dir(d: &DirectoryMsg, w: &mut WireWriter) {
             w.put_u64(*item);
             w.put_u64(*requester as u64);
             w.put_u64(rest.len() as u64);
-            for &n in rest {
+            for n in rest.iter() {
                 w.put_u64(n as u64);
             }
             w.put_u8(*hop);
@@ -101,12 +101,18 @@ fn decode_dir(r: &mut WireReader) -> Result<DirectoryMsg, WireError> {
             let item = r.get_u64()?;
             let requester = r.get_u64()? as NodeId;
             let len = r.get_u64()?;
-            if len > 1024 {
+            if len > MAX_HOPS as u64 {
                 return Err(WireError::BadLength(len));
             }
-            let mut rest = Vec::with_capacity(len as usize);
+            let mut rest = HopChain::new();
             for _ in 0..len {
-                rest.push(r.get_u64()? as NodeId);
+                let node = r.get_u64()?;
+                // Node ranks fit u32 (HopChain's storage); a larger value
+                // is a corrupt frame, not a valid peer.
+                if node > u32::MAX as u64 {
+                    return Err(WireError::BadLength(node));
+                }
+                rest.push(node as NodeId);
             }
             Ok(DirectoryMsg::Probe {
                 item,
@@ -143,7 +149,7 @@ mod tests {
         roundtrip(NodeMsg::Dir(DirectoryMsg::Probe {
             item: 9,
             requester: 0,
-            rest: vec![1, 2, 5],
+            rest: [1, 2, 5].into_iter().collect(),
             hop: 2,
         }));
         roundtrip(NodeMsg::Dir(DirectoryMsg::Found {

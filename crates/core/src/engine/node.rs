@@ -360,6 +360,7 @@ impl<A: Application> Conductor<A> {
         recorder: Arc<TraceRecorder>,
     ) -> Self {
         let n_dev = cfg.devices.len();
+        let item_count = app.item_count() as usize;
         let item_bytes = app.item_bytes() as u64;
         let parsed_bytes = app.parsed_bytes() as u64;
         let result_bytes = app.result_bytes() as u64;
@@ -394,7 +395,13 @@ impl<A: Application> Conductor<A> {
                 .map(|_| device.alloc(result_bytes).expect("result alloc"))
                 .collect();
             devices.push(device);
-            dev_cache.push(SlotCache::new(cfg.device_cache_slots));
+            // Dense item map: application items are 0..n, so the cache's
+            // O(1) array-indexed table applies (same mode the simulator
+            // runs in) instead of hashing every lookup.
+            dev_cache.push(SlotCache::with_item_space(
+                cfg.device_cache_slots,
+                item_count,
+            ));
             dev_slot_bufs.push(slots);
             staging_pool.push(staging);
             result_pool.push(results);
@@ -476,7 +483,7 @@ impl<A: Application> Conductor<A> {
             devices,
             dev_cache,
             dev_slot_bufs,
-            host_cache: SlotCache::new(host_slots.len()),
+            host_cache: SlotCache::with_item_space(host_slots.len(), item_count),
             host_slots,
             staging_pool,
             staging_queue,

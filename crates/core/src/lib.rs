@@ -58,16 +58,26 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod backend;
 pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod replications;
+pub mod report;
+pub mod scenario;
+pub mod workload;
 
 pub use app::{bytesutil, Application};
-pub use cluster::{Rocket, RunReport};
+pub use backend::{Backend, ThreadedBackend};
+pub use cluster::{AppReport, Rocket};
 pub use config::{ConfigSummary, RocketConfig, RocketConfigBuilder};
 pub use engine::NodeReport;
 pub use error::{AppError, RocketError};
+pub use replications::{ReplicationReport, Replications};
+pub use report::{BusyTimes, RunReport};
+pub use scenario::{NodeSpec, Scenario, ScenarioBuilder};
+pub use workload::WorkloadProfile;
 
 // Re-export the types users need at the API boundary.
 pub use rocket_cache::ItemId;

@@ -1,0 +1,158 @@
+//! Parallel replications: N seeds of one [`Scenario`] with
+//! confidence-interval aggregation.
+//!
+//! Simulation studies (and noisy wall-clock measurements) need replicated
+//! runs: the same scenario executed under independent seeds, reported as
+//! `mean ± 95% CI`. [`Replications`] fans the seeds out over the
+//! work-stealing crate's thread pool and folds the per-run
+//! [`RunReport`]s into [`OnlineStats`]-backed summaries.
+//!
+//! Determinism: every replication is an independent pure function of
+//! `(scenario, seed)`, results are stored by seed index, and aggregation
+//! runs sequentially in seed order after all replications complete — so
+//! the aggregate report is byte-identical regardless of the thread-pool
+//! size (the test suite asserts this).
+
+use parking_lot::Mutex;
+
+use rocket_stats::{splitmix64, OnlineStats};
+use rocket_steal::StealPool;
+
+use crate::backend::Backend;
+use crate::error::RocketError;
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+
+/// Runs N seeds of a scenario in parallel and aggregates the reports.
+#[derive(Debug, Clone)]
+pub struct Replications {
+    seeds: Vec<u64>,
+    threads: usize,
+}
+
+impl Replications {
+    /// `n` replications with seeds derived deterministically from
+    /// `base_seed` (a splitmix64 stream, so seeds are well-separated).
+    pub fn new(base_seed: u64, n: usize) -> Self {
+        let mut state = base_seed;
+        let seeds = (0..n).map(|_| splitmix64(&mut state)).collect();
+        Self { seeds, threads: 0 }
+    }
+
+    /// Replications with an explicit seed set.
+    pub fn from_seeds(seeds: Vec<u64>) -> Self {
+        Self { seeds, threads: 0 }
+    }
+
+    /// Caps the worker-thread count (`0`, the default, uses the machine's
+    /// available parallelism). The aggregate result does not depend on
+    /// this — only the wall-clock time does.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The seeds that will run.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Executes every seed of `scenario` on `backend` and folds the
+    /// results. Fails if any replication fails (first error in seed order
+    /// wins) or if no seeds were configured.
+    pub fn run(
+        &self,
+        backend: &dyn Backend,
+        scenario: &Scenario,
+    ) -> Result<ReplicationReport, RocketError> {
+        if self.seeds.is_empty() {
+            return Err(RocketError::Config(
+                "replications need at least one seed".into(),
+            ));
+        }
+        scenario.validate().map_err(RocketError::Config)?;
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        };
+        let slots: Vec<Mutex<Option<Result<RunReport, RocketError>>>> =
+            self.seeds.iter().map(|_| Mutex::new(None)).collect();
+        StealPool::run_tasks(self.seeds.len(), threads, |i| {
+            let result = backend.run(&scenario.with_seed(self.seeds[i]));
+            *slots[i].lock() = Some(result);
+        });
+        // Sequential fold in seed order: the aggregate is independent of
+        // which thread ran which replication.
+        let mut runs = Vec::with_capacity(self.seeds.len());
+        for slot in slots {
+            runs.push(slot.into_inner().expect("replication ran")?);
+        }
+        Ok(ReplicationReport::fold(
+            backend.name(),
+            self.seeds.clone(),
+            runs,
+        ))
+    }
+}
+
+/// Aggregate of N replicated runs: per-run reports plus
+/// confidence-interval summaries of the headline metrics.
+#[derive(Debug, Clone)]
+pub struct ReplicationReport {
+    /// Backend that executed the replications.
+    pub backend: &'static str,
+    /// Seed of each run (index-aligned with `runs`).
+    pub seeds: Vec<u64>,
+    /// The per-run reports, in seed order.
+    pub runs: Vec<RunReport>,
+    /// Run time (seconds) across replications.
+    pub elapsed: OnlineStats,
+    /// Reuse factor R across replications.
+    pub r_factor: OnlineStats,
+    /// Throughput (pairs/second) across replications.
+    pub throughput: OnlineStats,
+    /// Load-pipeline executions across replications.
+    pub loads: OnlineStats,
+}
+
+impl ReplicationReport {
+    fn fold(backend: &'static str, seeds: Vec<u64>, runs: Vec<RunReport>) -> Self {
+        let mut elapsed = OnlineStats::new();
+        let mut r_factor = OnlineStats::new();
+        let mut throughput = OnlineStats::new();
+        let mut loads = OnlineStats::new();
+        for run in &runs {
+            elapsed.push(run.elapsed);
+            r_factor.push(run.r_factor());
+            throughput.push(run.throughput());
+            loads.push(run.loads as f64);
+        }
+        Self {
+            backend,
+            seeds,
+            runs,
+            elapsed,
+            r_factor,
+            throughput,
+            loads,
+        }
+    }
+
+    /// Number of replications.
+    pub fn replications(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Multi-line human-readable `mean ± 95% CI` summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} replications on {} | runtime {} s | R {} | throughput {} pairs/s",
+            self.replications(),
+            self.backend,
+            self.elapsed.avg_pm_ci95(),
+            self.r_factor.avg_pm_ci95(),
+            self.throughput.avg_pm_ci95(),
+        )
+    }
+}

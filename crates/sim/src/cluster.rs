@@ -22,7 +22,7 @@
 //!
 //! * **Jobs** live in a per-node free-list slab (`SimNode::jobs` +
 //!   `SimNode::free_jobs`); a job id *is* its slab slot. Slots recycle only
-//!   after [`Sim::on_post_done`], and a completed job can have no parked
+//!   after `Sim::on_post_done`, and a completed job can have no parked
 //!   waiter tokens (it must have held both leases to reach the compare
 //!   stage), so recycled ids can never be reached by stale wake-ups.
 //! * **Device-fill state** is per-GPU × per-item: `SimGpu::fills[item]`
@@ -32,7 +32,7 @@
 //! * **Host-fill state** is per-node × per-item: `SimNode::host_fill[item]`
 //!   packs the origin GPU and the reserved host slot of an in-flight load.
 //! * **Stage distributions** are resolved once at construction into
-//!   [`StageDists`]; handlers sample through `&Dist` without cloning.
+//!   `StageDists`; handlers sample through `&Dist` without cloning.
 //!
 //! The dense tables cost `O(nodes × gpus × items)` machine words of memory
 //! — a few MB for the largest scenario sweeps — in exchange for removing
@@ -40,16 +40,18 @@
 
 use std::collections::VecDeque;
 
-use rocket_apps::WorkloadProfile;
 use rocket_cache::{
     CacheStats, Directory, DirectoryMsg, DirectoryStats, Lookup, Resolution, SlotCache, SlotIdx,
 };
+use rocket_core::WorkloadProfile;
 use rocket_gpu::DeviceProfile;
 use rocket_stats::{Dist, Distribution, Xoshiro256};
 use rocket_steal::{Block, Pair, TaskDeque};
 use rocket_trace::ThroughputSeries;
 
-use crate::engine::{ns_to_secs, secs_to_ns, EventQueue, SimTime};
+use crate::engine::{
+    ns_to_secs, secs_to_ns, CalendarQueue, EventQueue, Scheduler, SimTime, SlabEventQueue,
+};
 use crate::server::{Engine, Pool};
 
 /// Configuration of one simulated node.
@@ -103,6 +105,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record per-GPU completion timestamps (Fig 14).
     pub record_completions: bool,
+    /// Event-scheduling structure (results are identical either way; the
+    /// calendar queue targets very large clusters).
+    pub scheduler: Scheduler,
 }
 
 impl SimConfig {
@@ -128,6 +133,7 @@ impl SimConfig {
             net_latency: 20e-6,
             seed: 0x9E3779B97F4A7C15,
             record_completions: false,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -378,9 +384,12 @@ enum Ev {
     StealRetry { node: usize },
 }
 
-/// Runs one simulation to completion.
+/// Runs one simulation to completion on the configured scheduler.
 pub fn simulate(config: &SimConfig) -> SimResult {
-    Sim::new(config).run()
+    match config.scheduler {
+        Scheduler::SlabHeap => Sim::new(config, SlabEventQueue::new()).run(),
+        Scheduler::Calendar => Sim::new(config, CalendarQueue::new()).run(),
+    }
 }
 
 /// Workload stage-time distributions, resolved once at construction so the
@@ -407,10 +416,10 @@ fn transfer_ns(bytes: u64, bytes_per_sec: f64) -> u64 {
     secs_to_ns(bytes as f64 / bytes_per_sec)
 }
 
-struct Sim<'a> {
+struct Sim<'a, Q: EventQueue<Ev>> {
     cfg: &'a SimConfig,
     stages: StageDists,
-    queue: EventQueue<Ev>,
+    queue: Q,
     nodes: Vec<SimNode>,
     storage: Engine,
     rng: Xoshiro256,
@@ -429,8 +438,8 @@ struct Sim<'a> {
     gpu_gid_base: Vec<usize>,
 }
 
-impl<'a> Sim<'a> {
-    fn new(cfg: &'a SimConfig) -> Self {
+impl<'a, Q: EventQueue<Ev>> Sim<'a, Q> {
+    fn new(cfg: &'a SimConfig, queue: Q) -> Self {
         assert!(!cfg.nodes.is_empty(), "cluster needs nodes");
         let n = cfg.workload.items;
         let p = cfg.nodes.len();
@@ -488,7 +497,7 @@ impl<'a> Sim<'a> {
                 compare: cfg.workload.compare.clone(),
                 postprocess: cfg.workload.postprocess.clone(),
             },
-            queue: EventQueue::new(),
+            queue,
             nodes,
             storage: Engine::new(),
             rng: Xoshiro256::seed_from(cfg.seed),

@@ -1,20 +1,22 @@
 //! Deterministic discrete-event core.
 //!
-//! # Hot-path layout
+//! Event scheduling is abstracted behind the [`EventQueue`] trait so the
+//! simulator can swap scheduling structures without touching the cluster
+//! model. Two implementations ship:
 //!
-//! The queue is **slab-backed**: event payloads are parked in a free-list
-//! slab and never move after insertion, while the binary heap orders only
-//! compact `(SimTime, seq, slot)` keys (24 bytes, `Copy`). Heap sift
-//! operations therefore compare and move small integer triples instead of
-//! full event payloads — for the cluster simulator's `Ev` enum (which
-//! embeds directory messages with heap-allocated hop lists) this removes
-//! both the payload moves and the padding traffic from every push/pop.
+//! * [`SlabEventQueue`] — the slab-backed binary heap (the default): heap
+//!   sift operations compare and move compact `(time, seq, slot)` keys
+//!   while payloads stay parked in a free-list slab,
+//! * [`CalendarQueue`] — a classic calendar queue (Brown 1988): events
+//!   hash into time buckets, giving amortized O(1) schedule/pop when the
+//!   event population is large and time-dense — the regime of very large
+//!   (Cartesius-scale, 96-GPU) cluster simulations.
 //!
-//! Determinism: `seq` increments on every insertion and is the second key
-//! component, so ties in time break by insertion order and a simulation
-//! remains a pure function of its configuration and seed. The slab slot
-//! index participates in the key only as an inert third component (a
-//! given `seq` is unique, so it never actually decides an ordering).
+//! Determinism: both implementations order events by `(time, seq)` where
+//! `seq` increments on every insertion, so ties in time break by insertion
+//! order and a simulation remains a pure function of its configuration and
+//! seed — *identical* across queue implementations, which the test suite
+//! asserts.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,10 +24,75 @@ use std::collections::BinaryHeap;
 /// Virtual time in nanoseconds.
 pub type SimTime = u64;
 
-/// A deterministic event queue: ties in time break by insertion order, so a
-/// simulation is a pure function of its configuration and seed.
+/// A deterministic event scheduler: ties in time break by insertion order
+/// (FIFO), past-dated events clamp to `now`.
+pub trait EventQueue<E> {
+    /// Current virtual time (the timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Schedules `event` at absolute time `at` (clamped to now for
+    /// past-dated events).
+    fn schedule_at(&mut self, at: SimTime, event: E);
+
+    /// Schedules `event` `delay` nanoseconds from now.
+    fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now().saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing virtual time.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True if no events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Scheduling structure selector for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Slab-backed binary heap ([`SlabEventQueue`]); the default.
+    #[default]
+    SlabHeap,
+    /// Calendar queue ([`CalendarQueue`]) for very large clusters.
+    Calendar,
+}
+
+/// Parks a payload in the free-list slab layout both queues share,
+/// returning its slot (new or recycled).
+fn park_payload<E>(slab: &mut Vec<Option<E>>, free: &mut Vec<u32>, event: E) -> u32 {
+    match free.pop() {
+        Some(s) => {
+            debug_assert!(slab[s as usize].is_none());
+            slab[s as usize] = Some(event);
+            s
+        }
+        None => {
+            let s = u32::try_from(slab.len()).expect("event slab overflow");
+            slab.push(Some(event));
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slab-backed binary heap
+// ---------------------------------------------------------------------------
+
+/// The slab-backed binary-heap scheduler.
+///
+/// Event payloads are parked in a free-list slab and never move after
+/// insertion, while the binary heap orders only compact
+/// `(SimTime, seq, slot)` keys (24 bytes, `Copy`). Heap sift operations
+/// therefore compare and move small integer triples instead of full event
+/// payloads. The slab slot index participates in the key only as an inert
+/// third component (a given `seq` is unique, so it never actually decides
+/// an ordering).
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct SlabEventQueue<E> {
     /// Min-heap over `(time, seq, slot)`; payloads live in `slab`.
     heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
     /// Parked payloads, addressed by the key's slot component.
@@ -36,13 +103,13 @@ pub struct EventQueue<E> {
     now: SimTime,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for SlabEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> SlabEventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
         Self {
@@ -53,39 +120,21 @@ impl<E> EventQueue<E> {
             now: 0,
         }
     }
+}
 
-    /// Current virtual time (the timestamp of the last popped event).
-    pub fn now(&self) -> SimTime {
+impl<E> EventQueue<E> for SlabEventQueue<E> {
+    fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Schedules `event` at absolute time `at` (clamped to now for
-    /// past-dated events).
-    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+    fn schedule_at(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
-        let slot = match self.free.pop() {
-            Some(s) => {
-                debug_assert!(self.slab[s as usize].is_none());
-                self.slab[s as usize] = Some(event);
-                s
-            }
-            None => {
-                let s = u32::try_from(self.slab.len()).expect("event slab overflow");
-                self.slab.push(Some(event));
-                s
-            }
-        };
+        let slot = park_payload(&mut self.slab, &mut self.free, event);
         self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
     }
 
-    /// Schedules `event` `delay` nanoseconds from now.
-    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
-        self.schedule_at(self.now.saturating_add(delay), event);
-    }
-
-    /// Pops the next event, advancing virtual time.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((at, _, slot)) = self.heap.pop()?;
         let event = self.slab[slot as usize]
             .take()
@@ -95,14 +144,195 @@ impl<E> EventQueue<E> {
         Some((at, event))
     }
 
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.heap.len()
     }
+}
 
-    /// True if no events remain.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// A deterministic calendar queue.
+///
+/// Events hash into `(t / width) mod buckets` time buckets; a pop scans
+/// the current "day" forward. Each bucket keeps its keys sorted in
+/// *descending* `(time, seq)` order so the bucket minimum is `Vec::pop`
+/// away. The bucket count and width resize automatically to track the
+/// event population (target ≈ one event per bucket per day), giving
+/// amortized O(1) schedule/pop for large, time-dense event populations.
+///
+/// Payloads live in the same free-list slab layout as
+/// [`SlabEventQueue`]; only `(time, seq, slot)` keys move through the
+/// calendar. Ordering is by `(time, seq)` exactly like the heap queue, so
+/// simulations produce identical results on either scheduler.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// `buckets[i]` holds keys sorted descending; `last()` is the minimum.
+    buckets: Vec<Vec<(SimTime, u64, u32)>>,
+    /// Power-of-two bucket count minus one.
+    mask: usize,
+    /// Bucket time width, ns (≥ 1).
+    width: SimTime,
+    /// Bucket the next pop starts scanning from.
+    cur: usize,
+    /// Exclusive upper time bound of `cur` within the current day.
+    bucket_top: SimTime,
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
+    len: usize,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    const MIN_BUCKETS: usize = 4;
+
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        let width = 1;
+        Self {
+            buckets: (0..Self::MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: Self::MIN_BUCKETS - 1,
+            width,
+            cur: 0,
+            bucket_top: width,
+            slab: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: SimTime) -> usize {
+        ((t / self.width) as usize) & self.mask
+    }
+
+    fn insert_key(&mut self, key: (SimTime, u64, u32)) {
+        let b = self.bucket_of(key.0);
+        let bucket = &mut self.buckets[b];
+        // Descending order: everything greater than `key` stays in front.
+        let pos = bucket.partition_point(|&e| e > key);
+        bucket.insert(pos, key);
+    }
+
+    /// Re-buckets every pending key for a new size/width (O(n), amortized
+    /// away by the doubling/halving triggers).
+    fn resize(&mut self) {
+        let target = self.len.next_power_of_two().max(Self::MIN_BUCKETS);
+        let keys: Vec<(SimTime, u64, u32)> =
+            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let (mut min_t, mut max_t) = (SimTime::MAX, 0);
+        for &(t, _, _) in &keys {
+            min_t = min_t.min(t);
+            max_t = max_t.max(t);
+        }
+        // Width ≈ the average inter-event gap, so a day holds the whole
+        // population at about one event per bucket.
+        self.width = if keys.len() >= 2 {
+            ((max_t - min_t) / keys.len() as u64).max(1)
+        } else {
+            self.width.max(1)
+        };
+        if self.buckets.len() != target {
+            self.buckets = (0..target).map(|_| Vec::new()).collect();
+            self.mask = target - 1;
+        }
+        for key in keys {
+            self.insert_key(key);
+        }
+        self.align_to(if self.len == 0 { self.now } else { min_t });
+    }
+
+    /// Points the scan cursor at the bucket containing `t`.
+    fn align_to(&mut self, t: SimTime) {
+        self.cur = self.bucket_of(t);
+        self.bucket_top = (t / self.width + 1) * self.width;
+    }
+
+    /// Locates the global minimum by comparing every bucket's minimum
+    /// (used when a full day's scan comes up empty — far-future events).
+    fn seek_global_min(&mut self) {
+        let mut best: Option<(SimTime, u64, u32)> = None;
+        for bucket in &self.buckets {
+            if let Some(&key) = bucket.last() {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (t, _, _) = best.expect("seek on non-empty queue");
+        self.align_to(t);
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let slot = park_payload(&mut self.slab, &mut self.free, event);
+        self.insert_key((at, self.seq, slot));
+        self.seq += 1;
+        self.len += 1;
+        // The scan cursor may sit far ahead of `now` (aligned to a
+        // far-future minimum); a new event earlier than the cursor's
+        // window would then never be scanned. Pull the cursor back —
+        // re-scanning forward is always safe.
+        if at < self.bucket_top.saturating_sub(self.width) {
+            self.align_to(at);
+        }
+        if self.len > 2 * self.buckets.len() {
+            self.resize();
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut scanned = 0;
+        let (at, slot) = loop {
+            if let Some(&(t, _, slot)) = self.buckets[self.cur].last() {
+                if t < self.bucket_top {
+                    self.buckets[self.cur].pop();
+                    break (t, slot);
+                }
+            }
+            self.cur = (self.cur + 1) & self.mask;
+            self.bucket_top += self.width;
+            scanned += 1;
+            if scanned > self.mask {
+                // A full day without a hit: every event lives in a later
+                // year. Jump straight to the earliest one.
+                self.seek_global_min();
+                scanned = 0;
+            }
+        };
+        let event = self.slab[slot as usize]
+            .take()
+            .expect("calendar key without parked payload");
+        self.free.push(slot);
+        self.len -= 1;
+        self.now = at;
+        if self.buckets.len() > Self::MIN_BUCKETS && self.len < self.buckets.len() / 2 {
+            self.resize();
+        }
+        Some((at, event))
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
 
@@ -120,100 +350,78 @@ pub fn ns_to_secs(ns: SimTime) -> f64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(30, "c");
-        q.schedule_at(10, "a");
-        q.schedule_at(20, "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
-    }
+    /// Runs every queue-semantics check against one implementation.
+    fn check_queue_semantics<Q: EventQueue<i64> + Default>() {
+        // Pops in time order.
+        let mut q = Q::default();
+        q.schedule_at(30, 3);
+        q.schedule_at(10, 1);
+        q.schedule_at(20, 2);
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
 
-    #[test]
-    fn ties_break_by_insertion() {
-        let mut q = EventQueue::new();
+        // Ties break by insertion order.
+        let mut q = Q::default();
         q.schedule_at(5, 1);
         q.schedule_at(5, 2);
         q.schedule_at(5, 3);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![1, 2, 3]);
-    }
 
-    #[test]
-    fn ties_break_by_insertion_after_slot_reuse() {
-        // Slab slots recycle in LIFO order; the FIFO tie-break must come
-        // from `seq`, never from slot indices.
-        let mut q = EventQueue::new();
+        // FIFO survives slot reuse.
+        let mut q = Q::default();
         for i in 0..8 {
             q.schedule_at(1, i);
         }
         for expect in 0..8 {
             assert_eq!(q.pop().unwrap().1, expect);
         }
-        // All eight slots are now on the free list (7 on top). Re-insert at
-        // one shared timestamp and require insertion order again.
         for i in 100..108 {
             q.schedule_at(50, i);
         }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (100..108).collect::<Vec<_>>());
-    }
 
-    #[test]
-    fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule_at(100, ());
+        // `now` advances with pops; schedule_in is relative.
+        let mut q = Q::default();
+        q.schedule_at(100, 0);
         assert_eq!(q.now(), 0);
         q.pop();
         assert_eq!(q.now(), 100);
-        // schedule_in is relative to the new now.
-        q.schedule_in(50, ());
+        q.schedule_in(50, 0);
         assert_eq!(q.pop().unwrap().0, 150);
-    }
 
-    #[test]
-    fn past_events_clamped_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule_at(100, "late");
+        // Past events clamp to now and queue FIFO behind concurrent ones.
+        let mut q = Q::default();
+        q.schedule_at(100, 0);
         q.pop();
-        q.schedule_at(10, "early");
-        assert_eq!(q.pop().unwrap().0, 100);
-    }
+        q.schedule_at(100, 1);
+        q.schedule_at(5, 2);
+        assert_eq!(q.pop().unwrap(), (100, 1));
+        assert_eq!(q.pop().unwrap(), (100, 2));
 
-    #[test]
-    fn past_events_preserve_fifo_with_concurrent_now_events() {
-        // A past-dated event is clamped to `now`; it must queue behind
-        // events already scheduled at `now` (insertion order).
-        let mut q = EventQueue::new();
-        q.schedule_at(100, "first");
-        q.pop();
-        q.schedule_at(100, "second");
-        q.schedule_at(5, "clamped");
-        assert_eq!(q.pop().unwrap(), (100, "second"));
-        assert_eq!(q.pop().unwrap(), (100, "clamped"));
-    }
-
-    #[test]
-    fn time_conversions_roundtrip() {
-        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
-        assert_eq!(secs_to_ns(-1.0), 0);
-        assert!((ns_to_secs(secs_to_ns(0.1308)) - 0.1308).abs() < 1e-9);
-    }
-
-    #[test]
-    fn len_and_empty() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        // len / is_empty.
+        let mut q = Q::default();
         assert!(q.is_empty());
-        q.schedule_at(1, ());
+        q.schedule_at(1, 0);
         assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
     }
 
     #[test]
-    fn drains_any_multiset_in_nondecreasing_fifo_order() {
-        // Property-style: a deterministic pseudo-random interleaving of
-        // schedules and pops must drain in nondecreasing time order with
-        // FIFO ties, exercising slab reuse throughout.
+    fn slab_heap_semantics() {
+        check_queue_semantics::<SlabEventQueue<i64>>();
+    }
+
+    #[test]
+    fn calendar_semantics() {
+        check_queue_semantics::<CalendarQueue<i64>>();
+    }
+
+    /// Property-style: a deterministic pseudo-random interleaving of
+    /// schedules and pops must drain in nondecreasing time order with FIFO
+    /// ties, exercising slab reuse (and calendar resizing) throughout.
+    fn check_random_interleaving<Q: EventQueue<u64> + Default>(spread: u64) {
         let mut lcg: u64 = 0x2545F4914F6CDD1D;
         let mut step = move || {
             lcg = lcg
@@ -221,13 +429,11 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             lcg >> 33
         };
-        let mut q = EventQueue::new();
+        let mut q = Q::default();
         let mut drained: Vec<(SimTime, u64)> = Vec::new();
-        // The loop index doubles as the payload: an insertion counter.
         for round in 0u64..2000 {
-            let at = q.now() + step() % 50;
+            let at = q.now() + step() % spread;
             q.schedule_at(at, round);
-            // Pop roughly half the time to interleave slab reuse.
             if round % 2 == 1 {
                 if let Some(ev) = q.pop() {
                     drained.push(ev);
@@ -245,15 +451,101 @@ mod tests {
                 assert!(s0 < s1, "FIFO violated at t={t0}: {s0} before {s1}");
             }
         }
-        // Every scheduled event came out exactly once.
         let mut ids: Vec<u64> = drained.iter().map(|&(_, s)| s).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..2000).collect::<Vec<_>>());
     }
 
     #[test]
+    fn slab_heap_drains_any_multiset_in_order() {
+        check_random_interleaving::<SlabEventQueue<u64>>(50);
+    }
+
+    #[test]
+    fn calendar_drains_any_multiset_in_order() {
+        // Narrow and wide spreads stress dense buckets and year-skips.
+        check_random_interleaving::<CalendarQueue<u64>>(50);
+        check_random_interleaving::<CalendarQueue<u64>>(5_000_000);
+    }
+
+    #[test]
+    fn calendar_event_behind_far_future_cursor() {
+        // Regression: a shrink-resize aligns the cursor to a far-future
+        // minimum; scheduling a new event earlier than that minimum (but
+        // ≥ now) must pull the cursor back, not orphan the event.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        // Grow the population so a later drain shrinks with a wide width.
+        for i in 0..32 {
+            q.schedule_at(i * 7, i as u32);
+        }
+        q.schedule_at(98_000_000, 100);
+        q.schedule_at(105_000_000, 101);
+        q.schedule_at(252_000_000, 102);
+        // Drain the near events; the shrink leaves the cursor aligned to
+        // the 98e6 minimum with a multi-million-ns bucket width.
+        for i in 0..32 {
+            assert_eq!(q.pop().unwrap().1, i as u32);
+        }
+        // New near-term event, far behind the cursor's window.
+        q.schedule_at(q.now() + 50, 200);
+        assert_eq!(q.pop().unwrap().1, 200, "near event must come first");
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert_eq!(q.pop().unwrap().1, 101);
+        assert_eq!(q.pop().unwrap().1, 102);
+    }
+
+    #[test]
+    fn calendar_handles_far_future_gaps() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        // Cluster of near events, then a lone event years of buckets away.
+        for i in 0..16 {
+            q.schedule_at(i, i as u32);
+        }
+        q.schedule_at(1_000_000_000, 99);
+        for i in 0..16 {
+            assert_eq!(q.pop().unwrap().1, i as u32);
+        }
+        assert_eq!(q.pop().unwrap(), (1_000_000_000, 99));
+        assert!(q.pop().is_none());
+        // And the queue stays usable afterwards.
+        q.schedule_in(5, 7);
+        assert_eq!(q.pop().unwrap(), (1_000_000_005, 7));
+    }
+
+    #[test]
+    fn identical_drain_order_across_implementations() {
+        let mut lcg: u64 = 0xDEADBEEFCAFE;
+        let mut step = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let schedule: Vec<u64> = (0..500).map(|_| step() % 1000).collect();
+        let drain = |q: &mut dyn EventQueue<u64>| -> Vec<(SimTime, u64)> {
+            for (i, &dt) in schedule.iter().enumerate() {
+                q.schedule_in(dt, i as u64);
+                if i % 3 == 0 {
+                    q.pop();
+                }
+            }
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let mut heap = SlabEventQueue::new();
+        let mut cal = CalendarQueue::new();
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert!((ns_to_secs(secs_to_ns(0.1308)) - 0.1308).abs() < 1e-9);
+    }
+
+    #[test]
     fn slab_reuses_slots() {
-        let mut q = EventQueue::new();
+        let mut q = SlabEventQueue::new();
         for i in 0..100 {
             q.schedule_at(i, i);
             q.pop();

@@ -7,27 +7,36 @@
 //! quadrant work-stealing) over a modelled cluster — GPUs with relative
 //! compute scales and PCIe links, a shared central storage pipe, per-node
 //! NICs — in deterministic virtual time. Stage durations are sampled from
-//! the paper's Table 1 / Fig 7 statistics ([`rocket_apps::profiles`]).
+//! the paper's Table 1 / Fig 7 statistics (`rocket_apps::profiles`).
 //!
 //! Modules:
 //!
-//! * [`engine`] — deterministic event queue over virtual nanoseconds,
+//! * [`engine`] — deterministic event scheduling over virtual nanoseconds:
+//!   the [`EventQueue`] trait with slab-heap and calendar-queue
+//!   implementations,
 //! * [`server`] — FIFO engines and k-server pools,
 //! * [`cluster`] — the simulated Rocket cluster: [`cluster::simulate`]
 //!   turns a [`cluster::SimConfig`] into a [`cluster::SimResult`] with the
 //!   run time, R factor, per-resource busy times, hop statistics, and I/O
 //!   usage that the paper's figures report,
+//! * [`backend`] — [`SimBackend`], the [`rocket_core::Backend`]
+//!   implementation that runs a [`rocket_core::Scenario`] on the simulator
+//!   and reports a unified [`rocket_core::RunReport`],
 //! * [`model`] — §6.1's Equations 1–5 (T_GPU, T_CPU, T_IO, T_min, system
 //!   efficiency).
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cluster;
 pub mod engine;
 pub mod model;
 pub mod server;
 
+pub use backend::SimBackend;
 pub use cluster::{simulate, SimConfig, SimNodeConfig, SimResult};
-pub use engine::{ns_to_secs, secs_to_ns, EventQueue, SimTime};
+pub use engine::{
+    ns_to_secs, secs_to_ns, CalendarQueue, EventQueue, Scheduler, SimTime, SlabEventQueue,
+};
 pub use model::{capacity, system_efficiency, t_cpu, t_gpu, t_io, t_min, t_model};
 pub use server::{Engine, Pool};

@@ -14,7 +14,7 @@
 //! heterogeneous platforms `p` generalizes to the sum of relative compute
 //! scales.
 
-use rocket_apps::WorkloadProfile;
+use rocket_core::WorkloadProfile;
 use rocket_gpu::DeviceProfile;
 use rocket_stats::Distribution;
 

@@ -87,6 +87,35 @@ fn stochastic_stage_times_same_seed_identical_report() {
 }
 
 #[test]
+fn calendar_queue_reproduces_slab_heap_reports() {
+    // The scheduler is a pure implementation detail: the calendar queue
+    // must reproduce the slab heap's report byte-for-byte on the bench
+    // configurations (single-node, multi-node, stochastic stage times).
+    use rocket_sim::Scheduler;
+    let mut stochastic = bench_workload(48);
+    stochastic.parse = Dist::normal_nonneg(10e-3, 2e-3);
+    stochastic.compare = Dist::LogNormal {
+        mean: 1e-3,
+        std: 0.4e-3,
+    };
+    let configs = [
+        SimConfig::cluster(bench_workload(96), vec![SimNodeConfig::uniform(1, 32, 64)]),
+        SimConfig::cluster(
+            bench_workload(96),
+            vec![SimNodeConfig::uniform(1, 16, 32); 4],
+        ),
+        SimConfig::cluster(stochastic, vec![SimNodeConfig::uniform(2, 16, 32); 2]),
+    ];
+    for mut cfg in configs {
+        cfg.scheduler = Scheduler::SlabHeap;
+        let heap = simulate(&cfg);
+        cfg.scheduler = Scheduler::Calendar;
+        let calendar = simulate(&cfg);
+        assert_eq!(report_bytes(&heap), report_bytes(&calendar));
+    }
+}
+
+#[test]
 fn completions_recorded_runs_identically() {
     // `record_completions` adds the per-GPU timestamp series to the report;
     // it must be deterministic too (Fig 14 reproductions depend on it).

@@ -28,4 +28,4 @@ pub mod rng;
 pub use dist::{Dist, Distribution};
 pub use histogram::{Histogram, Percentiles};
 pub use online::OnlineStats;
-pub use rng::{SeedSequence, Xoshiro256};
+pub use rng::{splitmix64, SeedSequence, Xoshiro256};

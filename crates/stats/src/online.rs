@@ -121,6 +121,39 @@ impl OnlineStats {
     pub fn avg_pm_std(&self) -> String {
         format!("{:.1} ± {:.2}", self.mean(), self.std())
     }
+
+    /// Half-width of the two-sided 95% confidence interval of the mean:
+    /// `t₀.₉₇₅,ₙ₋₁ · s/√n` (Student's t for small samples, 1.96 beyond
+    /// 30 degrees of freedom; 0 with fewer than two observations).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        /// Two-sided 97.5th-percentile t values for df = 1..=30.
+        const T975: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = (self.count - 1) as usize;
+        let t = if df <= T975.len() {
+            T975[df - 1]
+        } else {
+            1.960
+        };
+        t * (self.sample_variance() / self.count as f64).sqrt()
+    }
+
+    /// `(mean, ci95_half_width)` — the `mean ± ci` pair replication
+    /// reports print.
+    pub fn mean_ci95(&self) -> (f64, f64) {
+        (self.mean(), self.ci95_half_width())
+    }
+
+    /// Formats as `mean ± 95% CI`.
+    pub fn avg_pm_ci95(&self) -> String {
+        format!("{:.3} ± {:.3}", self.mean(), self.ci95_half_width())
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +218,34 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn ci95_known_value() {
+        // n = 4, values 1..4: mean 2.5, sample std ≈ 1.2910, SE ≈ 0.6455,
+        // t₀.₉₇₅,₃ = 3.182 → half-width ≈ 2.054.
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        let (mean, hw) = s.mean_ci95();
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert!((hw - 2.054).abs() < 1e-3, "half width {hw}");
+    }
+
+    #[test]
+    fn ci95_edge_cases() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.ci95_half_width(), 0.0);
+        s.push(5.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        // Large n uses the normal quantile.
+        let mut big = OnlineStats::new();
+        for i in 0..1000 {
+            big.push((i % 10) as f64);
+        }
+        let se = (big.sample_variance() / 1000.0).sqrt();
+        assert!((big.ci95_half_width() - 1.960 * se).abs() < 1e-12);
     }
 
     #[test]

@@ -93,6 +93,42 @@ impl StealStats {
 pub struct StealPool;
 
 impl StealPool {
+    /// Runs `tasks` independent index-addressed tasks on up to `threads`
+    /// worker threads (work-sharing over an atomic cursor), joining them
+    /// before returning.
+    ///
+    /// This is the pool's coarse-grained sibling of [`StealPool::run`]:
+    /// replication drivers use it to fan whole simulation runs out across
+    /// cores. Each index is claimed by exactly one worker; the assignment
+    /// of indices to threads is racy, so callers needing determinism must
+    /// make each task independent and combine results by index afterwards.
+    pub fn run_tasks<F>(tasks: usize, threads: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let threads = threads.max(1).min(tasks.max(1));
+        if tasks == 0 {
+            return;
+        }
+        if threads == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let cursor = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= tasks {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
     /// Processes every pair of `n` items, calling `on_leaf(worker, pair)`
     /// from pool worker threads. `on_leaf` may block (that is how the
     /// concurrent-job limit applies back-pressure to the scheduler).

@@ -1,13 +1,15 @@
 //! Scaling study on the discrete-event simulator: reproduce the paper's
-//! super-linear-speedup effect (Fig 12) interactively, at any size.
+//! super-linear-speedup effect (Fig 12) interactively, at any size —
+//! driven through the unified `Scenario`/`Backend` API, with a replicated
+//! confidence-interval run at the largest point.
 //!
 //! ```text
 //! cargo run --release --example cluster_scaling [max_nodes]
 //! ```
 
-use rocket::apps::profiles;
+use rocket::core::{Backend, NodeSpec, Replications, Scenario};
 use rocket::gpu::DeviceProfile;
-use rocket::sim::{model, simulate, SimConfig, SimNodeConfig};
+use rocket::sim::{model, SimBackend};
 
 fn main() {
     let max_nodes: usize = std::env::args()
@@ -18,9 +20,9 @@ fn main() {
     // The paper's forensics workload at 1/10 scale; cache sizes follow the
     // DAS-5 hardware (11 GB usable device memory, 40 GB host cache).
     let scale = 10u64;
-    let w = profiles::forensics().scaled(scale);
+    let w = rocket::apps::profiles::forensics().scaled(scale);
     let slots = |gb: f64| ((gb * 1e9 / w.item_bytes as f64 / scale as f64) as usize).max(2);
-    let node = SimNodeConfig {
+    let node = NodeSpec {
         gpus: vec![DeviceProfile::titanx_maxwell()],
         device_slots: slots(11.0),
         host_slots: slots(40.0),
@@ -35,26 +37,49 @@ fn main() {
         "{:>5}  {:>5}  {:>10}  {:>8}  {:>6}  {:>10}",
         "nodes", "dist", "runtime", "speedup", "R", "IO MB/s"
     );
+    let backend = SimBackend::new();
+    let mut largest = None;
     for dist in [true, false] {
         let mut t1 = None;
         let mut p = 1;
         while p <= max_nodes {
-            let mut cfg = SimConfig::cluster(w.clone(), vec![node.clone(); p]);
-            cfg.distributed_cache = dist;
-            let r = simulate(&cfg);
-            let base = *t1.get_or_insert(r.makespan);
+            let scenario = Scenario::builder()
+                .workload(w.clone())
+                .nodes(p, node.clone())
+                .distributed_cache(dist)
+                .build();
+            let r = backend.run(&scenario).expect("simulation run");
+            let base = *t1.get_or_insert(r.elapsed);
             println!(
                 "{p:>5}  {:>5}  {:>9.1}s  {:>7.2}x  {:>6.2}  {:>10.1}",
                 if dist { "on" } else { "off" },
-                r.makespan,
-                base / r.makespan,
+                r.elapsed,
+                base / r.elapsed,
                 r.r_factor(),
                 r.avg_io_mbps()
             );
+            if dist {
+                largest = Some(scenario);
+            }
             p *= 2;
         }
     }
     let tmin = model::t_min(&w);
     println!("\nmodelled single-GPU lower bound T_min = {tmin:.1}s");
+
+    // Replicate the largest distributed-cache point over 8 seeds on the
+    // thread pool: stage times are stochastic, so the honest headline is a
+    // mean with a 95% confidence interval.
+    if let Some(scenario) = largest {
+        let reps = Replications::new(scenario.seed, 8)
+            .run(&backend, &scenario)
+            .expect("replications");
+        println!(
+            "\n{} nodes × 8 seeds: runtime {} s | R {}",
+            scenario.nodes.len(),
+            reps.elapsed.avg_pm_ci95(),
+            reps.r_factor.avg_pm_ci95()
+        );
+    }
     println!("\nsuper-linear speedup with the distributed cache on: the combined\nhost caches hold the whole data set, so R falls as nodes are added.");
 }

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use rocket::apps::{ForensicsApp, ForensicsConfig, ForensicsDataset};
-use rocket::core::{Rocket, RocketConfig};
+use rocket::core::{NodeSpec, Scenario, ThreadedBackend};
 
 fn main() {
     let config = ForensicsConfig {
@@ -29,18 +29,15 @@ fn main() {
     let dataset = ForensicsDataset::generate(config.clone());
     let app = Arc::new(ForensicsApp::new(&config));
 
-    let runtime = Rocket::new(
-        RocketConfig::builder()
-            .devices(2) // two virtual GPUs share the host cache
-            .device_cache_slots(12)
-            .host_cache_slots(32)
-            .concurrent_job_limit(12)
-            .build(),
-    );
+    let scenario = Scenario::builder()
+        .items(config.images)
+        // Two virtual GPUs share the node's host cache.
+        .node(NodeSpec::uniform(2, 12, 32))
+        .job_limit(12)
+        .build();
     let camera_of = dataset.camera_of.clone();
-    let report = runtime
-        .run(app, Arc::new(dataset.store))
-        .expect("run failed");
+    let backend = ThreadedBackend::new(app, Arc::new(dataset.store));
+    let report = backend.run_app(&scenario).expect("run failed");
 
     println!(
         "compared {} pairs in {:?} | loads {} (R = {:.2}) | host hits {:.0}%",

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use rocket::apps::{MicroscopyApp, MicroscopyConfig, MicroscopyDataset};
-use rocket::core::{Rocket, RocketConfig};
+use rocket::core::{NodeSpec, Scenario, ThreadedBackend};
 
 fn main() {
     let config = MicroscopyConfig {
@@ -26,17 +26,13 @@ fn main() {
     let rotation_of = dataset.rotation_of.clone();
     let app = Arc::new(MicroscopyApp::new(&config));
 
-    let runtime = Rocket::new(
-        RocketConfig::builder()
-            .devices(1)
-            .device_cache_slots(10)
-            .host_cache_slots(10)
-            .concurrent_job_limit(4)
-            .build(),
-    );
-    let report = runtime
-        .run(app, Arc::new(dataset.store))
-        .expect("run failed");
+    let scenario = Scenario::builder()
+        .items(config.particles)
+        .node(NodeSpec::uniform(1, 10, 10))
+        .job_limit(4)
+        .build();
+    let backend = ThreadedBackend::new(app, Arc::new(dataset.store));
+    let report = backend.run_app(&scenario).expect("run failed");
     println!(
         "registered {} particle pairs in {:?}",
         report.outputs.len(),

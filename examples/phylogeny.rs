@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use rocket::apps::phylo;
 use rocket::apps::{BioApp, BioConfig, BioDataset};
-use rocket::core::{Rocket, RocketConfig};
+use rocket::core::{NodeSpec, Scenario, ThreadedBackend};
 
 fn main() {
     let config = BioConfig {
@@ -27,17 +27,13 @@ fn main() {
     let app = Arc::new(BioApp::new(&config));
     let cluster_of = dataset.cluster_of.clone();
 
-    let runtime = Rocket::new(
-        RocketConfig::builder()
-            .devices(1)
-            .device_cache_slots(9)
-            .host_cache_slots(18)
-            .concurrent_job_limit(4)
-            .build(),
-    );
-    let report = runtime
-        .run(app, Arc::new(dataset.store))
-        .expect("run failed");
+    let scenario = Scenario::builder()
+        .items(config.species)
+        .node(NodeSpec::uniform(1, 9, 18))
+        .job_limit(4)
+        .build();
+    let backend = ThreadedBackend::new(app, Arc::new(dataset.store));
+    let report = backend.run_app(&scenario).expect("run failed");
     println!(
         "computed {} pairwise distances in {:?} (R = {:.2})",
         report.outputs.len(),

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use rocket::core::{AppError, Application, Pair, Rocket, RocketConfig};
+use rocket::core::{AppError, Application, NodeSpec, Pair, Scenario, ThreadedBackend};
 use rocket::storage::MemStore;
 
 /// Hamming distance between per-file fingerprints.
@@ -90,17 +90,17 @@ fn main() {
         store.put(format!("inputs/{i}.bin"), content);
     }
 
-    let config = RocketConfig::builder()
-        .devices(1)
-        .device_cache_slots(6)
-        .host_cache_slots(12)
-        .concurrent_job_limit(8)
+    // Declare the run: 12 items on one node with one GPU, a 6-slot device
+    // cache, and a 12-slot host cache.
+    let scenario = Scenario::builder()
+        .items(12)
+        .node(NodeSpec::uniform(1, 6, 12))
+        .job_limit(8)
         .build();
 
     let app = Arc::new(Fingerprint { files: 12 });
-    let report = Rocket::new(config)
-        .run(app, Arc::new(store))
-        .expect("run failed");
+    let backend = ThreadedBackend::new(app, Arc::new(store));
+    let report = backend.run_app(&scenario).expect("run failed");
 
     println!(
         "processed {} pairs in {:?}",

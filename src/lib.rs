@@ -32,21 +32,27 @@
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs` for a complete runnable program; the short
+//! Execution is driven by the unified `Scenario`/`Backend` API: a
+//! [`core::Scenario`] declaratively describes workload, cluster topology,
+//! and runtime knobs; any [`core::Backend`] (the threaded runtime via
+//! [`core::ThreadedBackend`], the simulator via [`sim::SimBackend`]) runs
+//! it into one [`core::RunReport`], and [`core::Replications`] fans a
+//! scenario out over N seeds with confidence intervals. See
+//! `examples/quickstart.rs` for a complete runnable program; the short
 //! version:
 //!
 //! ```
-//! use rocket::core::RocketConfig;
-//! // A complete application walk-through lives in examples/quickstart.rs;
-//! // here we only show that the config builder composes.
-//! let config = RocketConfig::builder()
-//!     .devices(1)
-//!     .host_cache_slots(64)
-//!     .device_cache_slots(16)
-//!     .concurrent_job_limit(32)
+//! use rocket::core::{Backend, NodeSpec, Scenario};
+//! use rocket::sim::SimBackend;
+//! // One node × one GPU, 16 device slots, 64 host slots, 32-item toy set.
+//! let scenario = Scenario::builder()
+//!     .items(32)
+//!     .node(NodeSpec::uniform(1, 16, 64))
+//!     .job_limit(32)
 //!     .build();
-//! assert_eq!(config.devices.len(), 1);
-//! assert_eq!(config.host_cache_slots, 64);
+//! assert_eq!(scenario.total_gpus(), 1);
+//! let report = SimBackend::new().run(&scenario).unwrap();
+//! assert_eq!(report.pairs, 32 * 31 / 2);
 //! ```
 
 pub use rocket_apps as apps;

@@ -1,0 +1,218 @@
+//! Integration tests of the unified `Scenario`/`Backend`/`Replications`
+//! driver API: replication determinism across thread-pool sizes, backend
+//! report parity, and scheduler equivalence — all through the public
+//! facade.
+
+use std::sync::Arc;
+
+use rocket::core::{
+    AppError, Application, Backend, NodeSpec, Pair, Replications, Scenario, ThreadedBackend,
+    WorkloadProfile,
+};
+use rocket::sim::SimBackend;
+use rocket::stats::Dist;
+use rocket::storage::MemStore;
+
+/// A stochastic simulation workload: randomized stage times make the
+/// replication statistics non-degenerate.
+fn stochastic_workload(items: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "driver-api",
+        items,
+        file_bytes: 1_000_000,
+        item_bytes: 10_000_000,
+        parse: Dist::normal_nonneg(10e-3, 2e-3),
+        preprocess: Some(Dist::Constant(5e-3)),
+        compare: Dist::LogNormal {
+            mean: 1e-3,
+            std: 0.4e-3,
+        },
+        postprocess: Dist::Constant(0.0),
+        paper_device_slots: 16,
+        paper_host_slots: 32,
+    }
+}
+
+fn sim_scenario() -> Scenario {
+    Scenario::builder()
+        .workload(stochastic_workload(48))
+        .nodes(2, NodeSpec::uniform(1, 12, 24))
+        .seed(0xC0FFEE)
+        .build()
+}
+
+#[test]
+fn replication_aggregates_identical_across_thread_counts() {
+    // The same seed set must produce byte-identical aggregate reports no
+    // matter how the replications were distributed over worker threads.
+    let scenario = sim_scenario();
+    let backend = SimBackend::new();
+    let run = |threads: usize| {
+        Replications::new(7, 8)
+            .threads(threads)
+            .run(&backend, &scenario)
+            .expect("replications")
+    };
+    let serial = run(1);
+    assert_eq!(serial.replications(), 8);
+    assert!(
+        serial.elapsed.ci95_half_width() > 0.0,
+        "stochastic runs must vary"
+    );
+    let serial_bytes = format!("{serial:?}");
+    for threads in [2, 4, 8] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial_bytes,
+            format!("{parallel:?}"),
+            "aggregate diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn replication_seeds_are_distinct_and_reported() {
+    let reps = Replications::new(1, 8);
+    let mut seeds = reps.seeds().to_vec();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 8, "derived seeds must be distinct");
+
+    let report = reps
+        .run(&SimBackend::new(), &sim_scenario())
+        .expect("replications");
+    assert_eq!(report.seeds, reps.seeds());
+    assert_eq!(report.runs.len(), 8);
+    // Each run actually used its seed: identical seeds would collapse the
+    // elapsed-time spread to zero.
+    assert!(report.elapsed.min() < report.elapsed.max());
+    assert!(report.summary().contains('±'));
+}
+
+#[test]
+fn explicit_seed_sets_reproduce_single_runs() {
+    let scenario = sim_scenario();
+    let backend = SimBackend::new();
+    let single = backend.run(&scenario.with_seed(99)).expect("run");
+    let reps = Replications::from_seeds(vec![99, 99])
+        .run(&backend, &scenario)
+        .expect("replications");
+    assert_eq!(format!("{:?}", reps.runs[0]), format!("{single:?}"));
+    assert_eq!(format!("{:?}", reps.runs[1]), format!("{single:?}"));
+    assert_eq!(reps.elapsed.ci95_half_width(), 0.0);
+}
+
+#[test]
+fn calendar_queue_scenario_matches_default_scheduler() {
+    let scenario = sim_scenario();
+    let mut calendar = scenario.clone();
+    calendar.calendar_queue = true;
+    let backend = SimBackend::new();
+    let a = backend.run(&scenario).expect("heap run");
+    let b = backend.run(&calendar).expect("calendar run");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// Toy application for threaded-backend parity: sums bytes, compares sums.
+struct ByteSum {
+    files: u64,
+}
+
+impl Application for ByteSum {
+    type Output = i64;
+    fn name(&self) -> &str {
+        "bytesum"
+    }
+    fn item_count(&self) -> u64 {
+        self.files
+    }
+    fn file_for(&self, item: u64) -> String {
+        format!("{item}.bin")
+    }
+    fn parsed_bytes(&self) -> usize {
+        8
+    }
+    fn item_bytes(&self) -> usize {
+        8
+    }
+    fn result_bytes(&self) -> usize {
+        8
+    }
+    fn has_preprocess(&self) -> bool {
+        false
+    }
+    fn parse(&self, _item: u64, raw: &[u8], out: &mut [u8]) -> Result<(), AppError> {
+        let sum: i64 = raw.iter().map(|&b| b as i64).sum();
+        out[..8].copy_from_slice(&sum.to_le_bytes());
+        Ok(())
+    }
+    fn compare(
+        &self,
+        left: (u64, &[u8]),
+        right: (u64, &[u8]),
+        out: &mut [u8],
+    ) -> Result<(), AppError> {
+        let l = i64::from_le_bytes(left.1[..8].try_into().unwrap());
+        let r = i64::from_le_bytes(right.1[..8].try_into().unwrap());
+        out[..8].copy_from_slice(&(l - r).to_le_bytes());
+        Ok(())
+    }
+    fn postprocess(&self, _pair: Pair, raw: &[u8]) -> i64 {
+        i64::from_le_bytes(raw[..8].try_into().unwrap())
+    }
+}
+
+#[test]
+fn threaded_backend_reports_unified_shape() {
+    let store = MemStore::from_iter((0..8u64).map(|i| (format!("{i}.bin"), vec![i as u8; 16])));
+    let scenario = Scenario::builder()
+        .items(8)
+        .node(NodeSpec::uniform(1, 4, 8))
+        .job_limit(4)
+        .cpu_threads(2)
+        .tracing(true)
+        .build();
+    let backend = ThreadedBackend::new(Arc::new(ByteSum { files: 8 }), Arc::new(store));
+
+    // Typed path: outputs present and correct count.
+    let app_report = backend.run_app(&scenario).expect("run_app");
+    assert_eq!(app_report.outputs.len(), 28);
+    assert!(app_report.failed().is_empty());
+
+    // Unified path: same aggregate shape as the simulator's.
+    let report = backend.run(&scenario).expect("unified run");
+    assert_eq!(report.backend, "threaded");
+    assert_eq!(report.items, 8);
+    assert_eq!(report.pairs, 28);
+    assert_eq!(report.failed_pairs, 0);
+    assert_eq!(report.loads, 8, "full caches load every item once");
+    assert!((report.r_factor() - 1.0).abs() < 1e-12);
+    assert_eq!(report.pairs_per_node, vec![28]);
+    // Tracing was on: the compare busy time is observable.
+    assert!(report.busy.compare > 0.0);
+    assert!(report.busy.cpu > 0.0);
+}
+
+#[test]
+fn invalid_scenarios_rejected_by_both_backends() {
+    let mut bad = sim_scenario();
+    bad.hops = 0;
+    assert!(SimBackend::new().run(&bad).is_err());
+    let store = MemStore::new();
+    let backend = ThreadedBackend::new(Arc::new(ByteSum { files: 4 }), Arc::new(store));
+    assert!(backend.run(&bad).is_err());
+}
+
+#[test]
+fn threaded_backend_rejects_item_count_mismatch() {
+    // The runtime sizes everything from the app; a scenario written for a
+    // different data-set size is a design error, not a request.
+    let store = MemStore::from_iter((0..4u64).map(|i| (format!("{i}.bin"), vec![1u8; 4])));
+    let backend = ThreadedBackend::new(Arc::new(ByteSum { files: 4 }), Arc::new(store));
+    let scenario = Scenario::builder()
+        .items(8) // app has 4
+        .node(NodeSpec::uniform(1, 4, 8))
+        .build();
+    let err = backend.run_app(&scenario).unwrap_err();
+    assert!(err.to_string().contains("8 items"), "{err}");
+}

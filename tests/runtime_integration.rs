@@ -8,7 +8,7 @@ use rocket::apps::{
     BioApp, BioConfig, BioDataset, ForensicsApp, ForensicsConfig, ForensicsDataset, MicroscopyApp,
     MicroscopyConfig, MicroscopyDataset,
 };
-use rocket::core::{Application, Pair, Rocket, RocketConfig, RunReport};
+use rocket::core::{AppReport, Application, Pair, Rocket, RocketConfig};
 use rocket::storage::{FaultStore, MemStore, ObjectStore};
 
 fn small_config() -> RocketConfig {
@@ -57,7 +57,7 @@ fn oracle<A: Application>(app: &A, store: &dyn ObjectStore) -> Vec<(Pair, A::Out
 }
 
 fn assert_outputs_match_oracle<O: PartialEq + std::fmt::Debug>(
-    report: &RunReport<O>,
+    report: &AppReport<O>,
     oracle: &[(Pair, O)],
 ) {
     assert!(
