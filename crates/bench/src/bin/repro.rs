@@ -1,12 +1,16 @@
 //! `repro` — regenerate the Rocket paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment|all> [--scale N] [--out DIR] [--seed S]
+//! repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH]
 //! ```
 //!
 //! Experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-//! fig14, fig15, model. Reports print to stdout and land in `--out`
-//! (default `results/`) alongside CSV series for plotting.
+//! fig14, fig15, cartesius96, transports, model. Reports print to stdout
+//! and land in `--out` (default `results/`) alongside CSV series for
+//! plotting. `--json PATH` appends every run/replication report as one
+//! JSON-Lines record (`{"experiment":..,"report":..}`) — the durable
+//! format for cross-PR performance tracking; the file is truncated at
+//! startup so one invocation produces one coherent snapshot.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,7 +18,7 @@ use std::process::ExitCode;
 use rocket_bench::experiments::{run_experiment, ExpOptions, ALL_EXPERIMENTS};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S]");
+    eprintln!("usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH]");
     eprintln!("experiments:");
     for (name, _) in ALL_EXPERIMENTS {
         eprintln!("  {name}");
@@ -44,6 +48,10 @@ fn main() -> ExitCode {
                 Some(v) => opts.seed = v,
                 None => return usage(),
             },
+            "--json" => match it.next() {
+                Some(v) => opts.json_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -63,6 +71,19 @@ fn main() -> ExitCode {
             }
         }
     };
+    // One invocation = one snapshot: start the JSON-Lines file fresh
+    // (experiments append to it as they run).
+    if let Some(path) = &opts.json_out {
+        let prepared = match path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            Some(parent) => std::fs::create_dir_all(parent),
+            None => Ok(()),
+        }
+        .and_then(|()| std::fs::write(path, ""));
+        if let Err(e) = prepared {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     for (name, exp) in selected {
         eprintln!("== running {name} ==");
         let t0 = std::time::Instant::now();

@@ -20,6 +20,7 @@ use rocket_apps::{ForensicsApp, ForensicsConfig, ForensicsDataset};
 use rocket_apps::{MicroscopyApp, MicroscopyConfig, MicroscopyDataset};
 use rocket_core::{
     Application, Backend, NodeSpec, Replications, RunReport, Scenario, ThreadedBackend,
+    TransportKind,
 };
 use rocket_gpu::DeviceProfile;
 use rocket_sim::{model, SimBackend};
@@ -54,6 +55,9 @@ pub enum Experiment {
     /// Cartesius-scale 96-GPU distributed-cache sweep with replicated
     /// confidence intervals (beyond the paper's figures).
     Cartesius96,
+    /// Threaded runtime over both cluster transports (in-process channels
+    /// vs loopback TCP sockets): same results, measured wire traffic.
+    Transports,
     /// §6.1 model sanity: closed form vs simulation at R = 1.
     Model,
 }
@@ -71,6 +75,7 @@ pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
     ("fig14", Experiment::Fig14),
     ("fig15", Experiment::Fig15),
     ("cartesius96", Experiment::Cartesius96),
+    ("transports", Experiment::Transports),
     ("model", Experiment::Model),
 ];
 
@@ -84,6 +89,10 @@ pub struct ExpOptions {
     pub out_dir: PathBuf,
     /// Seed for every randomized component.
     pub seed: u64,
+    /// Append every run/replication report to this JSON-Lines file
+    /// (`{"experiment":..,"report":..}` per line) — the raw material for
+    /// cross-PR performance tracking. `None` disables persistence.
+    pub json_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -92,7 +101,30 @@ impl Default for ExpOptions {
             extra_scale: 1,
             out_dir: PathBuf::from("results"),
             seed: 0xC0FFEE,
+            json_out: None,
         }
+    }
+}
+
+/// Appends one report line to the JSON-Lines sink, when configured.
+fn log_json(opts: &ExpOptions, experiment: &str, report_json: &str) {
+    let Some(path) = &opts.json_out else {
+        return;
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let line = format!("{{\"experiment\":\"{experiment}\",\"report\":{report_json}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!(
+            "warning: could not persist report to {}: {e}",
+            path.display()
+        );
     }
 }
 
@@ -138,9 +170,12 @@ fn scenario_of(w: &WorkloadProfile, nodes: Vec<NodeSpec>, opts: &ExpOptions) -> 
     b.build()
 }
 
-/// Runs one scenario on the simulator backend.
-fn sim_run(scenario: &Scenario) -> RunReport {
-    SimBackend::new().run(scenario).expect("simulation run")
+/// Runs one scenario on the simulator backend, persisting the report to
+/// the JSON-Lines sink (when one is configured) under `experiment`.
+fn sim_run(scenario: &Scenario, opts: &ExpOptions, experiment: &str) -> RunReport {
+    let report = SimBackend::new().run(scenario).expect("simulation run");
+    log_json(opts, experiment, &report.to_json());
+    report
 }
 
 /// Runs one experiment, writes its artifacts, and returns the report text.
@@ -157,6 +192,7 @@ pub fn run_experiment(exp: Experiment, opts: &ExpOptions) -> String {
         Experiment::Fig14 => fig14(opts),
         Experiment::Fig15 => fig15(opts),
         Experiment::Cartesius96 => cartesius96(opts),
+        Experiment::Transports => transports(opts),
         Experiment::Model => model_check(opts),
     };
     let name = ALL_EXPERIMENTS
@@ -376,7 +412,7 @@ fn fig8(opts: &ExpOptions) -> String {
         let (w, scale) = scaled(w, opts);
         let node = baseline_node(&w, scale);
         let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc);
+        let r = sim_run(&sc, opts, "fig8");
         let tmin = model::t_min(&w);
         let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
         out.push_str(&format!(
@@ -421,7 +457,7 @@ fn fig10(opts: &ExpOptions) -> String {
             host_slots: slots_for(gb * 1e9, &w, scale),
         };
         let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc);
+        let r = sim_run(&sc, opts, "fig10");
         out.push_str(&format!(
             "host cache {gb} GB: runtime {} | R = {:.1}\n",
             fmt_secs(r.elapsed),
@@ -469,7 +505,7 @@ fn fig9(opts: &ExpOptions) -> String {
                 host_slots: host,
             };
             let sc = scenario_of(&w, vec![node], opts);
-            let r = sim_run(&sc);
+            let r = sim_run(&sc, opts, "fig9");
             let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
             t.row(vec![
                 format!("{gb} GB"),
@@ -508,7 +544,7 @@ fn fig11(opts: &ExpOptions) -> String {
         let nodes = vec![baseline_node(&w, scale); 16];
         let mut sc = scenario_of(&w, nodes, opts);
         sc.hops = 3;
-        let r = sim_run(&sc);
+        let r = sim_run(&sc, opts, "fig11");
         let lookups = r.directory.lookups().max(1);
         let pct = |x: u64| x as f64 / lookups as f64 * 100.0;
         let hop = |i: usize| r.directory.hits_at_hop.get(i).copied().unwrap_or(0);
@@ -569,7 +605,7 @@ fn fig12(opts: &ExpOptions) -> String {
                 let nodes = vec![baseline_node(&w, scale); p];
                 let mut sc = scenario_of(&w, nodes, opts);
                 sc.distributed_cache = dist;
-                let r = sim_run(&sc);
+                let r = sim_run(&sc, opts, "fig12");
                 let t1v = *t1.get_or_insert(r.elapsed);
                 let speedup = t1v / r.elapsed;
                 let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
@@ -653,7 +689,7 @@ fn fig13(opts: &ExpOptions) -> String {
         let mut sum = 0.0;
         for (i, node) in nodes.iter().enumerate() {
             let sc = scenario_of(&w, vec![node.clone()], opts);
-            let r = sim_run(&sc);
+            let r = sim_run(&sc, opts, "fig13");
             sum += r.throughput();
             t.row(vec![
                 format!("node {}", ["I", "II", "III", "IV"][i]),
@@ -667,7 +703,7 @@ fn fig13(opts: &ExpOptions) -> String {
             ));
         }
         let sc = scenario_of(&w, nodes, opts);
-        let all = sim_run(&sc);
+        let all = sim_run(&sc, opts, "fig13");
         t.row(vec!["sum of nodes".into(), format!("{sum:.1}")]);
         t.row(vec![
             "all (4 nodes)".into(),
@@ -704,7 +740,7 @@ fn fig14(opts: &ExpOptions) -> String {
         .collect();
     let mut sc = scenario_of(&w, nodes, opts);
     sc.record_completions = true;
-    let r = sim_run(&sc);
+    let r = sim_run(&sc, opts, "fig14");
     let series = r.completions.as_ref().expect("completions recorded");
     let end_ns = (r.elapsed * 1e9) as u64;
     let window = 60_000_000_000u64; // 1-minute rolling average, like the paper
@@ -752,7 +788,7 @@ fn fig15(opts: &ExpOptions) -> String {
     let mut t1 = None;
     for &p in &[1usize, 8, 16, 24, 32, 40, 48] {
         let sc = scenario_of(&w, vec![node(&w); p], opts);
-        let r = sim_run(&sc);
+        let r = sim_run(&sc, opts, "fig15");
         let t1v = *t1.get_or_insert(r.elapsed);
         let speedup = t1v / r.elapsed;
         let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
@@ -813,7 +849,7 @@ fn cartesius96(opts: &ExpOptions) -> String {
             // results are identical to the slab heap (tested), so the sweep
             // doubles as a large-scale exercise of that scheduler.
             sc.calendar_queue = p >= 48;
-            let r = sim_run(&sc);
+            let r = sim_run(&sc, opts, "cartesius96");
             t.row(vec![
                 p.to_string(),
                 (2 * p).to_string(),
@@ -841,12 +877,27 @@ fn cartesius96(opts: &ExpOptions) -> String {
     let reps = Replications::new(opts.seed, 8)
         .run(&SimBackend::new(), &sc)
         .expect("replicated runs");
+    log_json(opts, "cartesius96", &reps.to_json());
     out.push_str(&format!(
         "\n96-GPU point, {}:\n  runtime    {} s\n  R          {}\n  throughput {} pairs/s\n",
         reps.summary().split('|').next().unwrap_or("").trim(),
         reps.elapsed.avg_pm_ci95(),
         reps.r_factor.avg_pm_ci95(),
         reps.throughput.avg_pm_ci95(),
+    ));
+
+    // The same point under adaptive replication: keep adding batches of
+    // seeds until the runtime CI half-width is within 10% of the mean
+    // (capped at 16 runs) — usually fewer runs than the fixed-count
+    // schedule needs for the same confidence.
+    let adaptive = Replications::until_ci(opts.seed, 0.10, 16)
+        .run(&SimBackend::new(), &sc)
+        .expect("adaptive runs");
+    log_json(opts, "cartesius96", &adaptive.to_json());
+    out.push_str(&format!(
+        "  adaptive   stopped after {} replications (target: CI ≤ 10% of mean): runtime {} s\n",
+        adaptive.replications(),
+        adaptive.elapsed.avg_pm_ci95(),
     ));
     let mut rep_csv = String::from("seed,runtime_s,r_factor,throughput\n");
     for (seed, run) in reps.seeds.iter().zip(&reps.runs) {
@@ -869,6 +920,98 @@ fn cartesius96(opts: &ExpOptions) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Transports — threaded runtime over channels vs sockets
+// ---------------------------------------------------------------------------
+
+/// Runs a real application on a 4-node threaded cluster twice — once over
+/// in-process channels, once over loopback TCP — and compares results and
+/// wire traffic. The pair accounting must match exactly (the work
+/// assignment is statically partitioned, so it is deterministic); the
+/// socket run additionally reports genuine payload bytes on the wire.
+fn transports(opts: &ExpOptions) -> String {
+    let cfg = ForensicsConfig {
+        images: 24,
+        cameras: 4,
+        width: 32,
+        height: 32,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let ds = ForensicsDataset::generate(cfg.clone());
+    let app = Arc::new(ForensicsApp::new(&cfg));
+    let items = app.item_count();
+    let backend = ThreadedBackend::new(app, Arc::new(ds.store));
+
+    let mut out = String::from(
+        "Cluster transports — forensics on 4 threaded nodes, in-process\n\
+         channels vs loopback TCP sockets (static partition, distributed\n\
+         cache on)\n\n",
+    );
+    let mut csv =
+        String::from("transport,backend,pairs,failed,r_factor,net_msgs,net_bytes,runtime_s\n");
+    let mut t = Table::new(&[
+        "transport",
+        "backend",
+        "pairs",
+        "R",
+        "net msgs",
+        "net bytes",
+        "runtime",
+    ]);
+    let mut pair_splits = Vec::new();
+    for kind in [TransportKind::Local, TransportKind::Socket] {
+        let scenario = Scenario::builder()
+            .items(items)
+            .nodes(4, NodeSpec::uniform(1, 8, items as usize))
+            .job_limit(8)
+            .cpu_threads(2)
+            .leaf_pairs(8)
+            .static_partition(true)
+            .transport(kind)
+            .seed(opts.seed)
+            .build();
+        let rep = backend.run_app(&scenario).expect("threaded run");
+        let comm = rep.comm_totals();
+        let r = rep.unified(&scenario);
+        log_json(opts, "transports", &r.to_json());
+        t.row(vec![
+            kind.label().to_string(),
+            r.backend.to_string(),
+            r.pairs.to_string(),
+            format!("{:.2}", r.r_factor()),
+            comm.msgs_sent.to_string(),
+            fmt_bytes(comm.bytes_sent),
+            fmt_secs(r.elapsed),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{},{:.4},{},{},{:.4}\n",
+            kind.label(),
+            r.backend,
+            r.pairs,
+            r.failed_pairs,
+            r.r_factor(),
+            comm.msgs_sent,
+            comm.bytes_sent,
+            r.elapsed,
+        ));
+        pair_splits.push((r.pairs, r.failed_pairs, r.pairs_per_node.clone()));
+    }
+    out.push_str(&t.render());
+    assert_eq!(
+        pair_splits[0], pair_splits[1],
+        "transports disagree on pair accounting"
+    );
+    out.push_str(
+        "\nShape check: both transports complete every pair with the same\n\
+         per-node split; the socket run moves the directory/fetch protocol\n\
+         over real TCP (non-zero wire bytes) and is somewhat slower — the\n\
+         transport is the only difference between the two rows.\n",
+    );
+    write_result(&opts.out_dir, "transports.csv", &csv);
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Model sanity
 // ---------------------------------------------------------------------------
 
@@ -881,7 +1024,7 @@ fn model_check(opts: &ExpOptions) -> String {
         // Caches big enough for the whole (scaled) data set → R = 1.
         let node = NodeSpec::uniform(1, w.items as usize, w.items as usize);
         let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc);
+        let r = sim_run(&sc, opts, "model");
         assert!(
             (r.r_factor() - 1.0).abs() < 1e-9,
             "{}: R = {}",
@@ -919,6 +1062,7 @@ mod tests {
             extra_scale: 20, // shrink everything hard: tests must be quick
             out_dir: std::env::temp_dir().join(format!("rocket-exp-{}", std::process::id())),
             seed: 7,
+            json_out: None,
         }
     }
 
@@ -956,11 +1100,43 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL_EXPERIMENTS.len(), 12);
+        assert_eq!(ALL_EXPERIMENTS.len(), 13);
         let names: Vec<&str> = ALL_EXPERIMENTS.iter().map(|&(n, _)| n).collect();
         assert!(names.contains(&"table1"));
         assert!(names.contains(&"fig15"));
         assert!(names.contains(&"cartesius96"));
+        assert!(names.contains(&"transports"));
+    }
+
+    #[test]
+    fn transports_agree_and_sockets_carry_bytes() {
+        let opts = ExpOptions {
+            json_out: Some(
+                std::env::temp_dir()
+                    .join(format!("rocket-transports-{}.jsonl", std::process::id())),
+            ),
+            ..tiny_opts()
+        };
+        let report = transports(&opts);
+        assert!(report.contains("threaded+socket"), "{report}");
+        let csv = std::fs::read_to_string(opts.out_dir.join("transports.csv")).unwrap();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        let field = |row: &str, i: usize| row.split(',').nth(i).unwrap().to_string();
+        // Identical pair counts, zero failures on both transports.
+        assert_eq!(field(rows[0], 2), field(rows[1], 2));
+        assert_eq!(field(rows[0], 3), "0");
+        assert_eq!(field(rows[1], 3), "0");
+        // The socket row carries real traffic; both rows logged JSON.
+        let socket_bytes: u64 = field(rows[1], 6).parse().unwrap();
+        assert!(socket_bytes > 0);
+        let json = std::fs::read_to_string(opts.json_out.as_ref().unwrap()).unwrap();
+        let _ = std::fs::remove_file(opts.json_out.as_ref().unwrap());
+        assert_eq!(json.lines().count(), 2);
+        assert!(json
+            .lines()
+            .all(|l| l.contains("\"experiment\":\"transports\"")));
+        assert!(json.contains("\"backend\":\"threaded+socket\""));
     }
 
     #[test]
@@ -974,6 +1150,10 @@ mod tests {
         let report = cartesius96(&opts);
         assert!(report.contains("96"), "missing gpu column: {report}");
         assert!(report.contains('±'), "missing CI: {report}");
+        assert!(
+            report.contains("adaptive"),
+            "missing adaptive run: {report}"
+        );
         let csv =
             std::fs::read_to_string(opts.out_dir.join("cartesius96_replications.csv")).unwrap();
         assert_eq!(csv.lines().count(), 9, "8 replications + header");

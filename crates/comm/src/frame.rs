@@ -1,0 +1,147 @@
+//! Length-prefixed framing for byte-stream transports.
+//!
+//! TCP delivers a byte stream, not messages; this module maps between the
+//! two. Every frame is a little-endian `u32` payload length followed by
+//! the payload bytes. [`FrameDecoder`] is an incremental decoder: feed it
+//! stream chunks of any size (down to a single byte — TCP may tear a
+//! frame anywhere) and it yields complete payloads in order.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::wire::WireError;
+
+/// Consumed-prefix length that triggers compaction of the decoder buffer
+/// (compaction runs at most once per [`FrameDecoder::extend`], so the
+/// copy cost amortizes over the chunk, not over the frames in it).
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Maximum frame payload (guards against corrupt or hostile prefixes; an
+/// item fetch reply carries one cache slot, far below this).
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Bytes of framing overhead per message (the length prefix).
+pub const FRAME_HEADER: usize = 4;
+
+/// Encodes one frame (header + payload) into a standalone buffer.
+pub fn encode_frame(payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= MAX_FRAME as usize, "frame too large");
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Writes one frame to a byte sink (what the socket transport sends).
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME as usize, "frame too large");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Incremental frame decoder over an arbitrary chunking of the stream.
+///
+/// Consumed frames advance a cursor instead of shifting the buffer, so
+/// decoding `k` frames out of one received chunk costs `O(chunk + k)`
+/// rather than `O(chunk · k)` — the receive path of the socket transport
+/// decodes thousands of small directory messages per chunk.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of the undecoded region of `buf`.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stream chunk (any size, including one byte).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        if self.pos >= self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` if more bytes are
+    /// needed, or [`WireError::BadLength`] on an implausible prefix (the
+    /// connection should be dropped — the stream cannot resynchronize).
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..FRAME_HEADER].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return Err(WireError::BadLength(len as u64));
+        }
+        let total = FRAME_HEADER + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = Bytes::from(avail[FRAME_HEADER..total].to_vec());
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_whole_frames() {
+        let mut dec = FrameDecoder::new();
+        for payload in [&b"hello"[..], b"", b"world!"] {
+            dec.extend(&encode_frame(payload));
+        }
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"");
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"world!");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn torn_reads_one_byte_at_a_time() {
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; i as usize * 7]).collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(frame.to_vec());
+            }
+        }
+        assert_eq!(out, payloads);
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.next_frame(), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn write_frame_matches_encode_frame() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"abc").unwrap();
+        assert_eq!(out, encode_frame(b"abc").as_ref());
+    }
+}

@@ -1,5 +1,5 @@
-//! In-process cluster transport for Rocket — the stand-in for the paper's
-//! Ibis communication library.
+//! Cluster transport for Rocket — the stand-in for the paper's Ibis
+//! communication library.
 //!
 //! Rocket's distributed pieces (the level-3 cache directory, remote item
 //! fetches, work-steal requests) need exactly what Ibis gave the original:
@@ -7,17 +7,28 @@
 //! accounting of bytes on the wire (the simulator and the I/O figures need
 //! message sizes).
 //!
-//! * [`wire`] — a compact binary codec over [`bytes`] with exact encoded-size
-//!   accounting; protocol messages implement [`wire::Wire`].
-//! * [`transport`] — [`transport::LocalCluster`] wires `p` in-process node
-//!   [`transport::Endpoint`]s together over crossbeam channels. Nodes are
-//!   threads of one process; the latency/bandwidth of a physical network is
-//!   modelled by the simulator, not here.
+//! * [`transport`] — the [`Transport`] trait (send / receive / stats) and
+//!   [`LocalTransport`]: crossbeam channels between threads of one
+//!   process. [`TransportKind`] selects an implementation by name.
+//! * [`socket`] — [`SocketTransport`]: the same contract over per-peer
+//!   TCP connections with a rank-exchanging handshake; what a
+//!   multi-process deployment runs on ([`SocketTransport::join`]).
+//! * [`frame`] — length-prefixed framing for byte-stream transports, with
+//!   an incremental decoder that tolerates arbitrarily torn reads.
+//! * [`wire`] — a compact binary codec over [`bytes`] with exact
+//!   encoded-size accounting; protocol messages implement [`wire::Wire`].
 
 #![warn(missing_docs)]
 
+pub mod frame;
+pub mod socket;
 pub mod transport;
 pub mod wire;
 
-pub use transport::{CommStats, Endpoint, LocalCluster, RecvError};
+pub use frame::{encode_frame, FrameDecoder, FRAME_HEADER, MAX_FRAME};
+pub use socket::{SocketCluster, SocketTransport};
+pub use transport::{
+    CommSnapshot, CommStats, Incoming, LocalCluster, LocalTransport, NodeId, RecvError, Transport,
+    TransportKind,
+};
 pub use wire::{Wire, WireError, WireReader, WireWriter};

@@ -1,4 +1,20 @@
-//! In-process node endpoints connected by crossbeam channels.
+//! The cluster [`Transport`] abstraction and its in-process implementation.
+//!
+//! A [`Transport`] is one node's connection to the cluster: reliable,
+//! ordered, point-to-point messaging to every peer (what Ibis gave the
+//! original Rocket), plus per-endpoint traffic counters. Two
+//! implementations exist:
+//!
+//! * [`LocalTransport`] (here) — crossbeam channels between threads of one
+//!   process; zero-copy, no serialization on the transport itself.
+//! * [`crate::SocketTransport`] — length-prefixed frames over TCP; real
+//!   sockets, one connection per peer pair, ordered per peer.
+//!
+//! The receive side is **single-consumer by convention**: exactly one
+//! thread per node (the engine's comm pump) calls [`Transport::recv_timeout`]
+//! / [`Transport::try_recv`]. There is deliberately no way to obtain a
+//! second receiver handle — cloned receivers silently steal messages from
+//! each other, which is how the old `Endpoint::receiver()` API was misused.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -10,31 +26,98 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 /// Cluster node identifier (rank).
 pub type NodeId = usize;
 
-/// Receive-side errors.
+/// Transport errors (both directions; sends to a departed peer report
+/// [`RecvError::Disconnected`], matching graceful-shutdown semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
     /// No message arrived within the timeout.
     Timeout,
-    /// All peers hung up and the queue is drained.
+    /// All peers hung up and the queue is drained (receive side), or the
+    /// destination peer is gone (send side).
     Disconnected,
 }
 
-/// Per-cluster message counters.
+/// Per-endpoint message counters: what *this node* sent and received.
+///
+/// Both directions are counted so send/receive asymmetry is observable
+/// (e.g. a node that serves many `Fetch` requests shows recv ≪ sent).
+/// Byte counts are payload bytes — framing overhead of a byte-stream
+/// transport is excluded so the two transports account identically, and
+/// self-addressed messages (which every transport delivers in memory)
+/// count like any other so totals stay comparable across transports.
+/// Only successful sends are counted.
 #[derive(Debug, Default)]
 pub struct CommStats {
-    messages: AtomicU64,
-    bytes: AtomicU64,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
 }
 
 impl CommStats {
-    /// Total messages delivered to channels.
-    pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+    /// Records one outgoing message of `bytes` payload bytes.
+    pub fn record_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    /// Total payload bytes sent.
-    pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+    /// Records one delivered message of `bytes` payload bytes.
+    pub fn record_recv(&self, bytes: usize) {
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Messages this endpoint sent.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes this endpoint sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered to this endpoint.
+    pub fn msgs_recv(&self) -> u64 {
+        self.msgs_recv.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes delivered to this endpoint.
+    pub fn bytes_recv(&self) -> u64 {
+        self.bytes_recv.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all four counters.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            msgs_sent: self.msgs_sent(),
+            bytes_sent: self.bytes_sent(),
+            msgs_recv: self.msgs_recv(),
+            bytes_recv: self.bytes_recv(),
+        }
+    }
+}
+
+/// A plain-data copy of [`CommStats`] (what per-node reports carry).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommSnapshot {
+    /// Messages sent by the endpoint.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by the endpoint.
+    pub bytes_sent: u64,
+    /// Messages delivered to the endpoint.
+    pub msgs_recv: u64,
+    /// Payload bytes delivered to the endpoint.
+    pub bytes_recv: u64,
+}
+
+impl CommSnapshot {
+    /// Accumulates another endpoint's counters (cluster-wide totals).
+    pub fn merge(&mut self, other: &CommSnapshot) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
     }
 }
 
@@ -47,18 +130,91 @@ pub struct Incoming {
     pub payload: Bytes,
 }
 
-/// One node's connection to the cluster.
+/// One node's connection to the cluster, independent of the medium.
+///
+/// Guarantees every implementation provides:
+///
+/// * **Reliable ordered delivery per peer** — messages from one sender
+///   arrive in send order (Ibis's reliable ordered channels).
+/// * **Self-sends** — a node may address itself (the directory protocol
+///   produces self-addressed messages); delivery is in-memory.
+/// * **Graceful shutdown** — once every peer has hung up and the inbox is
+///   drained, receives report [`RecvError::Disconnected`]; sends to a
+///   departed peer likewise.
+///
+/// Implementations are `Send + Sync` so one `Arc<dyn Transport>` can be
+/// shared between the sending thread and the (single) receiving thread.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank.
+    fn node(&self) -> NodeId;
+
+    /// Number of nodes in the cluster (self included).
+    fn cluster_size(&self) -> usize;
+
+    /// Sends `payload` to node `to` (which may be this node itself).
+    /// Non-blocking or briefly blocking (socket buffer); never waits for
+    /// the receiver to consume the message.
+    fn send(&self, to: NodeId, payload: Bytes) -> Result<(), RecvError>;
+
+    /// Receives the next message, waiting up to `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Incoming, RecvError>;
+
+    /// Receives without blocking (`None` when the inbox is empty).
+    fn try_recv(&self) -> Option<Incoming>;
+
+    /// This endpoint's traffic counters.
+    fn stats(&self) -> Arc<CommStats>;
+}
+
+/// Selects the transport an in-process cluster run communicates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Crossbeam channels between threads (the default; fastest).
+    #[default]
+    Local,
+    /// Length-prefixed frames over loopback TCP sockets — the same wire
+    /// path a multi-process deployment uses.
+    Socket,
+}
+
+impl TransportKind {
+    /// Short label (appears in backend names and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::Local => "local",
+            TransportKind::Socket => "socket",
+        }
+    }
+
+    /// Creates `p` fully connected endpoints of this kind (index = rank).
+    pub fn connect(self, p: usize) -> Result<Vec<Box<dyn Transport>>, String> {
+        match self {
+            TransportKind::Local => Ok(LocalCluster::connect(p)
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect()),
+            TransportKind::Socket => Ok(crate::SocketCluster::connect(p)
+                .map_err(|e| format!("socket cluster setup failed: {e}"))?
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect()),
+        }
+    }
+}
+
+/// In-process [`Transport`] over crossbeam channels.
 ///
 /// Sends are non-blocking (unbounded queues); receive order from a single
-/// peer is FIFO, matching Ibis's reliable ordered channels.
-pub struct Endpoint {
+/// peer is FIFO. Nodes are threads of one process; the latency/bandwidth
+/// of a physical network is modelled by the simulator, not here.
+pub struct LocalTransport {
     node: NodeId,
     peers: Vec<Sender<Incoming>>,
     inbox: Receiver<Incoming>,
     stats: Arc<CommStats>,
 }
 
-impl Endpoint {
+impl LocalTransport {
     /// This endpoint's rank.
     pub fn node(&self) -> NodeId {
         self.node
@@ -72,52 +228,74 @@ impl Endpoint {
     /// Sends `payload` to node `to` (which may be this node itself — the
     /// directory protocol produces self-addressed messages).
     pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), RecvError> {
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let len = payload.len();
         self.peers[to]
             .send(Incoming {
                 from: self.node,
                 payload,
             })
-            .map_err(|_| RecvError::Disconnected)
+            .map_err(|_| RecvError::Disconnected)?;
+        self.stats.record_send(len);
+        Ok(())
     }
 
     /// Receives the next message, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Incoming, RecvError> {
-        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+        let msg = self.inbox.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => RecvError::Timeout,
             RecvTimeoutError::Disconnected => RecvError::Disconnected,
-        })
+        })?;
+        self.stats.record_recv(msg.payload.len());
+        Ok(msg)
     }
 
     /// Receives without blocking.
     pub fn try_recv(&self) -> Option<Incoming> {
-        self.inbox.try_recv().ok()
+        let msg = self.inbox.try_recv().ok()?;
+        self.stats.record_recv(msg.payload.len());
+        Some(msg)
     }
 
-    /// Shared counters of the cluster this endpoint belongs to.
+    /// This endpoint's traffic counters.
     pub fn stats(&self) -> Arc<CommStats> {
         Arc::clone(&self.stats)
     }
+}
 
-    /// A clone of the inbox receiver, allowing a dedicated receive thread
-    /// while the endpoint itself stays with the sender (receivers taken this
-    /// way steal messages from each other — use one).
-    pub fn receiver(&self) -> Receiver<Incoming> {
-        self.inbox.clone()
+impl Transport for LocalTransport {
+    fn node(&self) -> NodeId {
+        LocalTransport::node(self)
+    }
+
+    fn cluster_size(&self) -> usize {
+        LocalTransport::cluster_size(self)
+    }
+
+    fn send(&self, to: NodeId, payload: Bytes) -> Result<(), RecvError> {
+        LocalTransport::send(self, to, payload)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Incoming, RecvError> {
+        LocalTransport::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Incoming> {
+        LocalTransport::try_recv(self)
+    }
+
+    fn stats(&self) -> Arc<CommStats> {
+        LocalTransport::stats(self)
     }
 }
 
-/// Builder for a set of interconnected [`Endpoint`]s.
+/// Builder for a set of interconnected [`LocalTransport`]s.
 pub struct LocalCluster;
 
 impl LocalCluster {
-    /// Creates `p` fully connected endpoints (index = rank).
-    pub fn connect(p: usize) -> Vec<Endpoint> {
+    /// Creates `p` fully connected endpoints (index = rank), each with its
+    /// own [`CommStats`].
+    pub fn connect(p: usize) -> Vec<LocalTransport> {
         assert!(p > 0);
-        let stats = Arc::new(CommStats::default());
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -128,11 +306,11 @@ impl LocalCluster {
         receivers
             .into_iter()
             .enumerate()
-            .map(|(node, inbox)| Endpoint {
+            .map(|(node, inbox)| LocalTransport {
                 node,
                 peers: senders.clone(),
                 inbox,
-                stats: Arc::clone(&stats),
+                stats: Arc::new(CommStats::default()),
             })
             .collect()
     }
@@ -182,13 +360,47 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_messages_and_bytes() {
+    fn stats_track_both_directions_per_endpoint() {
         let eps = LocalCluster::connect(2);
         eps[0].send(1, Bytes::from(vec![0u8; 100])).unwrap();
         eps[1].send(0, Bytes::from(vec![0u8; 50])).unwrap();
-        let stats = eps[0].stats();
-        assert_eq!(stats.messages(), 2);
-        assert_eq!(stats.bytes(), 150);
+        // Counters are per-endpoint: before any receive, only sends show.
+        assert_eq!(eps[0].stats().msgs_sent(), 1);
+        assert_eq!(eps[0].stats().bytes_sent(), 100);
+        assert_eq!(eps[0].stats().msgs_recv(), 0);
+        // Delivery counts on the receiving endpoint.
+        eps[0].recv_timeout(Duration::from_secs(1)).unwrap();
+        let snap = eps[0].stats().snapshot();
+        assert_eq!(snap.msgs_recv, 1);
+        assert_eq!(snap.bytes_recv, 50);
+        // The asymmetry is observable: node 0 sent 100 B, received 50 B.
+        assert_ne!(snap.bytes_sent, snap.bytes_recv);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let mut total = CommSnapshot::default();
+        total.merge(&CommSnapshot {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+        });
+        total.merge(&CommSnapshot {
+            msgs_sent: 3,
+            bytes_sent: 30,
+            msgs_recv: 4,
+            bytes_recv: 40,
+        });
+        assert_eq!(
+            total,
+            CommSnapshot {
+                msgs_sent: 4,
+                bytes_sent: 40,
+                msgs_recv: 6,
+                bytes_recv: 60,
+            }
+        );
     }
 
     #[test]
@@ -206,5 +418,17 @@ mod tests {
         assert_eq!(reply.payload.as_ref(), b"ping");
         assert_eq!(reply.from, 1);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn usable_through_trait_object() {
+        let transports = TransportKind::Local.connect(2).unwrap();
+        assert_eq!(transports[0].cluster_size(), 2);
+        transports[0].send(1, Bytes::from_static(b"dyn")).unwrap();
+        let msg = transports[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.from, 0);
+        assert_eq!(msg.payload.as_ref(), b"dyn");
+        assert_eq!(TransportKind::Local.label(), "local");
+        assert_eq!(TransportKind::default(), TransportKind::Local);
     }
 }

@@ -196,6 +196,27 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, rest),
+        }
+    }
+
+    /// Splits off and returns the bytes from `at` on; `self` keeps the
+    /// first `at` bytes.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            buf: self.buf.split_off(at),
+        }
+    }
 }
 
 impl Deref for BytesMut {

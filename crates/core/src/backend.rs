@@ -39,7 +39,12 @@ pub trait Backend: Sync {
 ///
 /// The scenario's workload profile contributes only the item count (the
 /// application supplies the actual compute); [`ThreadedBackend::run_app`]
-/// additionally returns the typed per-pair outputs.
+/// additionally returns the typed per-pair outputs. The scenario's
+/// transport knob selects how nodes communicate — in-process channels by
+/// default, loopback TCP via `TransportKind::Socket` (the report then
+/// names the backend `"threaded+socket"`; `net_bytes` counts transport
+/// payload traffic on either transport — self-addressed protocol
+/// messages included, framing overhead excluded).
 pub struct ThreadedBackend<A: Application> {
     app: Arc<A>,
     store: Arc<dyn ObjectStore>,
@@ -72,10 +77,11 @@ impl<A: Application> ThreadedBackend<A> {
                 self.app.item_count()
             )));
         }
-        Rocket::run_cluster(
+        Rocket::run_cluster_with(
             Arc::clone(&self.app),
             Arc::clone(&self.store),
             scenario.node_configs(),
+            scenario.transport,
         )
     }
 }

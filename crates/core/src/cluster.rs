@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use rocket_cache::{CacheStats, DirectoryStats};
-use rocket_comm::LocalCluster;
+use rocket_comm::{CommSnapshot, Transport, TransportKind};
 use rocket_steal::{Pair, StealPool, StealPoolConfig, StealStats, WorkerTopology};
 use rocket_storage::ObjectStore;
 use rocket_trace::Timeline;
@@ -57,6 +57,16 @@ impl<O> AppReport<O> {
     /// Items served from remote host caches (level-3 hits).
     pub fn total_remote_fetches(&self) -> u64 {
         self.nodes.iter().map(|n| n.remote_fetches).sum()
+    }
+
+    /// Cluster-wide transport traffic (sum of every node's counters;
+    /// all-zero on single-node runs, which have no transport).
+    pub fn comm_totals(&self) -> CommSnapshot {
+        let mut total = CommSnapshot::default();
+        for n in &self.nodes {
+            total.merge(&n.comm);
+        }
+        total
     }
 
     /// Merged device-cache statistics.
@@ -111,9 +121,11 @@ impl<O> AppReport<O> {
     /// Folds this typed report into the backend-agnostic [`RunReport`].
     ///
     /// `scenario` supplies the topology (to roll per-worker steal counters
-    /// up into per-node pair counts). Busy times come from the trace when
-    /// tracing was enabled, zero otherwise; `io_bytes`/`net_bytes` are not
-    /// tracked by the threaded runtime and report as zero.
+    /// up into per-node pair counts) and the transport kind (which names
+    /// the backend — `"threaded"` or `"threaded+socket"`). Busy times come
+    /// from the trace when tracing was enabled, zero otherwise;
+    /// `net_bytes` is the cluster-wide transport payload traffic, and
+    /// `io_bytes` is not tracked by the threaded runtime (reports zero).
     pub fn unified(&self, scenario: &Scenario) -> RunReport {
         use rocket_trace::TaskKind;
         let timeline = self.timeline();
@@ -145,7 +157,10 @@ impl<O> AppReport<O> {
             }
         }
         RunReport {
-            backend: "threaded",
+            backend: match scenario.transport {
+                TransportKind::Local => "threaded",
+                TransportKind::Socket => "threaded+socket",
+            },
             elapsed: self.elapsed.as_secs_f64(),
             items: self.items,
             pairs: self.outputs.len() as u64,
@@ -153,7 +168,7 @@ impl<O> AppReport<O> {
             loads: self.total_loads(),
             remote_fetches: self.total_remote_fetches(),
             io_bytes: 0,
-            net_bytes: 0,
+            net_bytes: self.comm_totals().bytes_sent,
             steals: self.steal.local_steals + self.steal.remote_steals,
             busy,
             device_cache: self.device_cache(),
@@ -191,11 +206,24 @@ impl Rocket {
     }
 
     /// Runs an application on an in-process cluster, one configuration per
-    /// node. All nodes share `store` (the paper's central file server).
+    /// node, communicating over the default in-process transport. All
+    /// nodes share `store` (the paper's central file server).
     pub fn run_cluster<A: Application>(
         app: Arc<A>,
         store: Arc<dyn ObjectStore>,
         configs: Vec<RocketConfig>,
+    ) -> Result<AppReport<A::Output>, RocketError> {
+        Self::run_cluster_with(app, store, configs, TransportKind::Local)
+    }
+
+    /// [`Rocket::run_cluster`] with an explicit cluster transport: the
+    /// in-process channels of [`TransportKind::Local`] or real loopback
+    /// TCP sockets with [`TransportKind::Socket`].
+    pub fn run_cluster_with<A: Application>(
+        app: Arc<A>,
+        store: Arc<dyn ObjectStore>,
+        configs: Vec<RocketConfig>,
+        transport: TransportKind,
     ) -> Result<AppReport<A::Output>, RocketError> {
         if configs.is_empty() {
             return Err(RocketError::Config("at least one node required".into()));
@@ -208,8 +236,13 @@ impl Rocket {
         let outputs = Arc::new(Mutex::new(Vec::new()));
         let start = Instant::now();
 
-        let mut endpoints: Vec<Option<_>> = if nodes > 1 {
-            LocalCluster::connect(nodes).into_iter().map(Some).collect()
+        let mut endpoints: Vec<Option<Box<dyn Transport>>> = if nodes > 1 {
+            transport
+                .connect(nodes)
+                .map_err(RocketError::Config)?
+                .into_iter()
+                .map(Some)
+                .collect()
         } else {
             vec![None]
         };
@@ -244,6 +277,7 @@ impl Rocket {
         let pool_cfg = StealPoolConfig {
             leaf_pairs: configs[0].leaf_pairs,
             seed: configs[0].seed,
+            static_partition: configs[0].static_partition,
             ..Default::default()
         };
         let steal = StealPool::run(n, &topology, &pool_cfg, |worker, pair| {

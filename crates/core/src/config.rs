@@ -23,6 +23,10 @@ pub struct RocketConfig {
     pub distributed_cache: bool,
     /// Pairs per leaf task in the quadrant decomposition.
     pub leaf_pairs: u64,
+    /// Deterministic work assignment: statically partition the pair
+    /// triangle over workers instead of work-stealing (reproducible
+    /// per-node pair counts; static load balance).
+    pub static_partition: bool,
     /// Storage read retries before an item load fails.
     pub io_retries: usize,
     /// Attempts to load an item before failing jobs that depend on it.
@@ -89,6 +93,7 @@ impl Default for RocketConfigBuilder {
                 distributed_hops: 1,
                 distributed_cache: true,
                 leaf_pairs: 1,
+                static_partition: false,
                 io_retries: 2,
                 max_item_failures: 5,
                 seed: SEED_DEFAULT,
@@ -150,6 +155,12 @@ impl RocketConfigBuilder {
     /// Sets pairs per leaf task.
     pub fn leaf_pairs(mut self, pairs: u64) -> Self {
         self.config.leaf_pairs = pairs;
+        self
+    }
+
+    /// Enables/disables deterministic static work assignment.
+    pub fn static_partition(mut self, on: bool) -> Self {
+        self.config.static_partition = on;
         self
     }
 

@@ -42,7 +42,7 @@ use rocket_cache::{
     CacheStats, Directory, DirectoryMsg, DirectoryStats, ItemId, Lookup, Resolution, SlotCache,
     SlotIdx,
 };
-use rocket_comm::{Endpoint, Wire};
+use rocket_comm::{CommSnapshot, RecvError, Transport, Wire};
 use rocket_gpu::{BufferId, VirtualDevice};
 use rocket_steal::{JobLimiter, Pair};
 use rocket_storage::ObjectStore;
@@ -181,6 +181,8 @@ pub struct NodeReport {
     pub failed: Vec<(Pair, String)>,
     /// Recorded trace spans (empty when tracing is off).
     pub spans: Vec<Span>,
+    /// Transport traffic counters (zero on single-node runs).
+    pub comm: CommSnapshot,
 }
 
 /// Handle used by the cluster driver to feed and finalize a node.
@@ -217,15 +219,15 @@ impl NodeHandle {
 /// Shared sink for completed pair outputs, appended by every worker.
 type SharedOutputs<A> = Arc<Mutex<Vec<(Pair, <A as Application>::Output)>>>;
 
-/// Spawns a node: conductor thread + resource threads (+ comm thread when an
-/// endpoint is given).
+/// Spawns a node: conductor thread + resource threads (+ comm thread when a
+/// transport is given).
 pub(crate) fn spawn_node<A: Application>(
     app: Arc<A>,
     cfg: RocketConfig,
     node_id: usize,
     nodes: usize,
     store: Arc<dyn ObjectStore>,
-    endpoint: Option<Endpoint>,
+    transport: Option<Box<dyn Transport>>,
     outputs: SharedOutputs<A>,
 ) -> NodeHandle {
     let (events_tx, events_rx) = unbounded::<Event>();
@@ -237,17 +239,22 @@ pub(crate) fn spawn_node<A: Application>(
     let limiter = Arc::new(JobLimiter::new(cfg.concurrent_job_limit.min(lease_cap)));
     let recorder = Arc::new(TraceRecorder::new(cfg.tracing));
 
-    // Comm thread: pumps endpoint messages into the event queue.
+    // The conductor sends, the comm thread receives; both share one
+    // transport handle (the receive side stays single-consumer — the comm
+    // thread is the only caller of `recv_timeout`).
+    let transport: Option<Arc<dyn Transport>> = transport.map(Arc::from);
+
+    // Comm thread: pumps transport messages into the event queue.
     let comm_stop = Arc::new(AtomicBool::new(false));
-    let comm_thread = endpoint.as_ref().map(|ep| {
-        let rx = ep.receiver();
+    let comm_thread = transport.as_ref().map(|t| {
+        let transport = Arc::clone(t);
         let tx = events_tx.clone();
         let stop = Arc::clone(&comm_stop);
         std::thread::Builder::new()
             .name(format!("rocket-comm-{node_id}"))
             .spawn(move || {
                 while !stop.load(Ordering::Acquire) {
-                    match rx.recv_timeout(Duration::from_millis(20)) {
+                    match transport.recv_timeout(Duration::from_millis(20)) {
                         Ok(incoming) => {
                             let from = incoming.from;
                             match NodeMsg::from_bytes(incoming.payload) {
@@ -261,7 +268,9 @@ pub(crate) fn spawn_node<A: Application>(
                                 }
                             }
                         }
-                        Err(_) => continue,
+                        Err(RecvError::Timeout) => continue,
+                        // Every peer hung up: cluster-wide shutdown.
+                        Err(RecvError::Disconnected) => break,
                     }
                 }
             })
@@ -276,7 +285,7 @@ pub(crate) fn spawn_node<A: Application>(
             .name(format!("rocket-conductor-{node_id}"))
             .spawn(move || {
                 let conductor = Conductor::new(
-                    app, cfg, node_id, nodes, store, endpoint, outputs, counters, limiter,
+                    app, cfg, node_id, nodes, store, transport, outputs, counters, limiter,
                     events_rx, events_tx, recorder,
                 );
                 conductor.run()
@@ -300,7 +309,7 @@ struct Conductor<A: Application> {
     node_id: usize,
     nodes: usize,
     store: Arc<dyn ObjectStore>,
-    endpoint: Option<Endpoint>,
+    transport: Option<Arc<dyn Transport>>,
 
     io: Resource<Event>,
     cpu: Resource<Event>,
@@ -351,7 +360,7 @@ impl<A: Application> Conductor<A> {
         node_id: usize,
         nodes: usize,
         store: Arc<dyn ObjectStore>,
-        endpoint: Option<Endpoint>,
+        transport: Option<Arc<dyn Transport>>,
         outputs: SharedOutputs<A>,
         counters: Arc<NodeCounters>,
         limiter: Arc<JobLimiter>,
@@ -474,7 +483,7 @@ impl<A: Application> Conductor<A> {
             node_id,
             nodes,
             store,
-            endpoint,
+            transport,
             io,
             cpu,
             gpu,
@@ -539,6 +548,11 @@ impl<A: Application> Conductor<A> {
             remote_fetches: self.remote_fetches,
             failed: self.failed,
             spans: self.recorder.take(),
+            comm: self
+                .transport
+                .as_ref()
+                .map(|t| t.stats().snapshot())
+                .unwrap_or_default(),
         };
         self.io.shutdown();
         self.cpu.shutdown();
@@ -1142,8 +1156,14 @@ impl<A: Application> Conductor<A> {
     // ---- distributed cache ----------------------------------------------
 
     fn send_to(&mut self, to: usize, msg: NodeMsg) {
-        let ep = self.endpoint.as_ref().expect("endpoint for multi-node run");
-        ep.send(to, msg.to_bytes()).expect("peer gone");
+        let t = self
+            .transport
+            .as_ref()
+            .expect("transport for multi-node run");
+        // Best effort: a `Disconnected` peer means the cluster is shutting
+        // down after global drain — the message can no longer matter (the
+        // directory and fetch protocols both tolerate dropped messages).
+        let _ = t.send(to, msg.to_bytes());
     }
 
     fn on_remote(&mut self, from: usize, msg: NodeMsg) {

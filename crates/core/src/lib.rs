@@ -74,11 +74,12 @@ pub use cluster::{AppReport, Rocket};
 pub use config::{ConfigSummary, RocketConfig, RocketConfigBuilder};
 pub use engine::NodeReport;
 pub use error::{AppError, RocketError};
-pub use replications::{ReplicationReport, Replications};
+pub use replications::{AdaptiveReplications, ReplicationReport, Replications};
 pub use report::{BusyTimes, RunReport};
-pub use scenario::{NodeSpec, Scenario, ScenarioBuilder};
+pub use scenario::{NodeSpec, Scenario, ScenarioBuilder, MAX_SOCKET_NODES};
 pub use workload::WorkloadProfile;
 
 // Re-export the types users need at the API boundary.
 pub use rocket_cache::ItemId;
+pub use rocket_comm::{CommSnapshot, TransportKind};
 pub use rocket_steal::Pair;

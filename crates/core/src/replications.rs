@@ -20,7 +20,7 @@ use rocket_steal::StealPool;
 
 use crate::backend::Backend;
 use crate::error::RocketError;
-use crate::report::RunReport;
+use crate::report::{json_f64, push_json_str, RunReport};
 use crate::scenario::Scenario;
 
 /// Runs N seeds of a scenario in parallel and aggregates the reports.
@@ -42,6 +42,21 @@ impl Replications {
     /// Replications with an explicit seed set.
     pub fn from_seeds(seeds: Vec<u64>) -> Self {
         Self { seeds, threads: 0 }
+    }
+
+    /// Adaptive replication counts: runs batches of seeds (drawn from the
+    /// same deterministic splitmix64 stream [`Replications::new`] uses)
+    /// until the relative 95% confidence-interval half-width of the
+    /// elapsed time drops below `rel_half_width`, or `max_n` replications
+    /// have run. See [`AdaptiveReplications`] for the stopping rule.
+    pub fn until_ci(base_seed: u64, rel_half_width: f64, max_n: usize) -> AdaptiveReplications {
+        AdaptiveReplications {
+            base_seed,
+            rel_half_width,
+            max_n,
+            batch: 4,
+            threads: 0,
+        }
     }
 
     /// Caps the worker-thread count (`0`, the default, uses the machine's
@@ -96,6 +111,80 @@ impl Replications {
     }
 }
 
+/// Runs replications until the elapsed-time confidence interval is tight
+/// (build with [`Replications::until_ci`]).
+///
+/// Stopping rule: after each batch, stop when
+/// `ci95_half_width(elapsed) ≤ rel_half_width · |mean(elapsed)|`.
+/// At least one full batch (minimum two replications — a CI needs two
+/// observations) always runs; `max_n` caps the total. Seeds come from the
+/// deterministic stream seeded by `base_seed`, so on a deterministic
+/// backend the entire procedure — which seeds run and the aggregate
+/// report — is a pure function of `(scenario, base_seed)`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReplications {
+    base_seed: u64,
+    rel_half_width: f64,
+    max_n: usize,
+    batch: usize,
+    threads: usize,
+}
+
+impl AdaptiveReplications {
+    /// Sets the batch size (replications added per round; default 4,
+    /// clamped to at least 2 so the first round yields a CI).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Caps the worker-thread count (`0`, the default, uses the machine's
+    /// available parallelism). Does not affect the result.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Executes batches of `scenario` on `backend` until the stopping rule
+    /// holds, folding every run into one [`ReplicationReport`].
+    pub fn run(
+        &self,
+        backend: &dyn Backend,
+        scenario: &Scenario,
+    ) -> Result<ReplicationReport, RocketError> {
+        if !self.rel_half_width.is_finite() || self.rel_half_width <= 0.0 {
+            return Err(RocketError::Config(
+                "relative CI half-width target must be positive and finite".into(),
+            ));
+        }
+        if self.max_n < 2 {
+            return Err(RocketError::Config(
+                "adaptive replications need max_n >= 2 (a CI needs two runs)".into(),
+            ));
+        }
+        let batch = self.batch.max(2);
+        let mut state = self.base_seed;
+        let mut seeds: Vec<u64> = Vec::new();
+        let mut runs: Vec<RunReport> = Vec::new();
+        loop {
+            let take = batch.min(self.max_n - seeds.len());
+            let fresh: Vec<u64> = (0..take).map(|_| splitmix64(&mut state)).collect();
+            let round = Replications::from_seeds(fresh.clone())
+                .threads(self.threads)
+                .run(backend, scenario)?;
+            seeds.extend(fresh);
+            runs.extend(round.runs);
+            // The fold is cheap relative to a run: recompute over all runs
+            // so the stopping rule sees the full-sample CI.
+            let report = ReplicationReport::fold(backend.name(), seeds.clone(), runs.clone());
+            let (mean, hw) = report.elapsed.mean_ci95();
+            if hw <= self.rel_half_width * mean.abs() || seeds.len() >= self.max_n {
+                return Ok(report);
+            }
+        }
+    }
+}
+
 /// Aggregate of N replicated runs: per-run reports plus
 /// confidence-interval summaries of the headline metrics.
 #[derive(Debug, Clone)]
@@ -142,6 +231,51 @@ impl ReplicationReport {
     /// Number of replications.
     pub fn replications(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Serializes the aggregate as one JSON object: backend, seeds,
+    /// `mean ± ci95` summaries of the headline metrics, and the per-run
+    /// [`RunReport`]s (in seed order). Hand-rolled for the same reason as
+    /// [`RunReport::to_json`]: no registry, no serde.
+    pub fn to_json(&self) -> String {
+        let metric = |s: &OnlineStats| {
+            format!(
+                "{{\"n\":{},\"mean\":{},\"ci95\":{},\"min\":{},\"max\":{}}}",
+                s.count(),
+                json_f64(s.mean()),
+                json_f64(s.ci95_half_width()),
+                json_f64(if s.count() == 0 { 0.0 } else { s.min() }),
+                json_f64(if s.count() == 0 { 0.0 } else { s.max() }),
+            )
+        };
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"backend\":");
+        push_json_str(&mut out, self.backend);
+        out.push_str(&format!(",\"replications\":{}", self.replications()));
+        out.push_str(",\"seeds\":[");
+        for (i, s) in self.seeds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push(']');
+        out.push_str(&format!(",\"elapsed_s\":{}", metric(&self.elapsed)));
+        out.push_str(&format!(",\"r_factor\":{}", metric(&self.r_factor)));
+        out.push_str(&format!(
+            ",\"throughput_pairs_s\":{}",
+            metric(&self.throughput)
+        ));
+        out.push_str(&format!(",\"loads\":{}", metric(&self.loads)));
+        out.push_str(",\"runs\":[");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&run.to_json());
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Multi-line human-readable `mean ± 95% CI` summary.

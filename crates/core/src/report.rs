@@ -8,6 +8,58 @@
 use rocket_cache::{CacheStats, DirectoryStats};
 use rocket_trace::ThroughputSeries;
 
+/// Formats an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Appends `s` as a JSON string literal (with escaping).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_u64_array(out: &mut String, values: impl Iterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_cache_json(out: &mut String, s: &CacheStats) {
+    out.push_str(&format!(
+        "{{\"hits\":{},\"hits_pending\":{},\"misses\":{},\"capacity_stalls\":{},\
+         \"evictions\":{},\"aborts\":{},\"hit_ratio\":{}}}",
+        s.hits,
+        s.hits_pending,
+        s.misses,
+        s.capacity_stalls,
+        s.evictions,
+        s.aborts,
+        json_f64(s.hit_ratio()),
+    ));
+}
+
 /// Busy seconds per resource class (the paper's Fig 8 / Fig 10 rows).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BusyTimes {
@@ -110,6 +162,64 @@ impl RunReport {
         }
     }
 
+    /// Serializes the report as one JSON object (hand-rolled writer — the
+    /// crate registry is unreachable, so no serde). Derived metrics
+    /// (`r_factor`, `throughput`) are included so downstream tooling needs
+    /// no formulas; the optional per-GPU completion series is omitted (it
+    /// is plot data, not a summary).
+    ///
+    /// Intended for cross-PR performance tracking: one report per line of
+    /// a JSON-Lines file diffs cleanly between runs (see `repro --json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"backend\":");
+        push_json_str(&mut out, self.backend);
+        out.push_str(&format!(
+            ",\"elapsed_s\":{},\"items\":{},\"pairs\":{},\"failed_pairs\":{},\
+             \"loads\":{},\"remote_fetches\":{},\"io_bytes\":{},\"net_bytes\":{},\
+             \"steals\":{},\"r_factor\":{},\"throughput_pairs_s\":{}",
+            json_f64(self.elapsed),
+            self.items,
+            self.pairs,
+            self.failed_pairs,
+            self.loads,
+            self.remote_fetches,
+            self.io_bytes,
+            self.net_bytes,
+            self.steals,
+            json_f64(self.r_factor()),
+            json_f64(self.throughput()),
+        ));
+        out.push_str(&format!(
+            ",\"busy_s\":{{\"preprocess\":{},\"compare\":{},\"h2d\":{},\"d2h\":{},\
+             \"cpu\":{},\"io\":{}}}",
+            json_f64(self.busy.preprocess),
+            json_f64(self.busy.compare),
+            json_f64(self.busy.h2d),
+            json_f64(self.busy.d2h),
+            json_f64(self.busy.cpu),
+            json_f64(self.busy.io),
+        ));
+        out.push_str(",\"device_cache\":");
+        push_cache_json(&mut out, &self.device_cache);
+        out.push_str(",\"host_cache\":");
+        push_cache_json(&mut out, &self.host_cache);
+        out.push_str(&format!(
+            ",\"directory\":{{\"hits_at_hop\":{},\"misses\":{},\"messages_sent\":{}}}",
+            {
+                let mut hops = String::new();
+                push_u64_array(&mut hops, self.directory.hits_at_hop.iter().copied());
+                hops
+            },
+            self.directory.misses,
+            self.directory.messages_sent,
+        ));
+        out.push_str(",\"pairs_per_node\":");
+        push_u64_array(&mut out, self.pairs_per_node.iter().copied());
+        out.push('}');
+        out
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -167,6 +277,44 @@ mod tests {
         assert_eq!(r.r_factor(), 0.0);
         assert_eq!(r.throughput(), 0.0);
         assert_eq!(r.avg_io_mbps(), 0.0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_metrics() {
+        let mut r = report();
+        r.pairs_per_node = vec![20, 25];
+        let json = r.to_json();
+        // Balanced structure (no serde available to parse, so check the
+        // invariants a JSON parser would).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"backend\":\"test\"",
+            "\"elapsed_s\":2",
+            "\"pairs\":45",
+            "\"r_factor\":2.5",
+            "\"throughput_pairs_s\":22.5",
+            "\"pairs_per_node\":[20,25]",
+            "\"net_bytes\":0",
+            "\"hits_at_hop\":[]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_strings_escaped_and_nonfinite_nulled() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
     }
 
     #[test]

@@ -12,10 +12,17 @@
 //! Build scenarios with [`Scenario::builder`]; invalid topologies are
 //! rejected by [`ScenarioBuilder::try_build`].
 
+use rocket_comm::TransportKind;
 use rocket_gpu::DeviceProfile;
 
 use crate::config::RocketConfig;
 use crate::workload::WorkloadProfile;
+
+/// Largest socket-transport cluster the builder accepts: the full mesh
+/// opens `p·(p−1)/2` loopback connections inside one process, so very
+/// large topologies belong on the simulator (or on real multi-process
+/// deployments where each process owns only its own `p−1` sockets).
+pub const MAX_SOCKET_NODES: usize = 64;
 
 /// Topology of one cluster node: its GPUs and cache capacities.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +77,13 @@ pub struct Scenario {
     pub cpu_threads: usize,
     /// Pairs per leaf task in the quadrant decomposition.
     pub leaf_pairs: u64,
+    /// Deterministic static work assignment instead of work-stealing
+    /// (threaded runtime; reproducible per-node pair counts).
+    pub static_partition: bool,
+    /// Cluster transport of the threaded runtime: in-process channels or
+    /// loopback TCP sockets (the simulator models the network instead and
+    /// ignores this knob).
+    pub transport: TransportKind,
     /// Central storage bandwidth, bytes/second (shared by all nodes).
     pub storage_bandwidth: f64,
     /// Per-request storage latency, seconds.
@@ -160,6 +174,13 @@ impl Scenario {
         if self.leaf_pairs < 1 {
             return Err("leaf tasks must hold at least one pair".into());
         }
+        if self.transport == TransportKind::Socket && self.nodes.len() > MAX_SOCKET_NODES {
+            return Err(format!(
+                "socket transport supports at most {MAX_SOCKET_NODES} in-process nodes \
+                 ({} requested); larger topologies belong on the simulator",
+                self.nodes.len()
+            ));
+        }
         if self.storage_bandwidth <= 0.0
             || self.net_bandwidth <= 0.0
             || self.storage_bandwidth.is_nan()
@@ -191,6 +212,7 @@ impl Scenario {
                 distributed_hops: self.hops,
                 distributed_cache: self.distributed_cache,
                 leaf_pairs: self.leaf_pairs,
+                static_partition: self.static_partition,
                 io_retries: self.io_retries,
                 max_item_failures: self.max_item_failures,
                 seed: self.seed,
@@ -217,6 +239,8 @@ impl Default for ScenarioBuilder {
                 job_limit: 64,
                 cpu_threads: 16,
                 leaf_pairs: 64,
+                static_partition: false,
+                transport: TransportKind::Local,
                 storage_bandwidth: 1.2e9, // ~10 Gb/s effective object store
                 storage_latency: 2e-3,
                 net_bandwidth: 7.0e9, // 56 Gb/s InfiniBand FDR
@@ -300,6 +324,20 @@ impl ScenarioBuilder {
     /// Sets pairs per leaf task.
     pub fn leaf_pairs(mut self, pairs: u64) -> Self {
         self.scenario.leaf_pairs = pairs;
+        self
+    }
+
+    /// Enables/disables deterministic static work assignment (threaded
+    /// runtime; per-node pair counts become reproducible, load balance
+    /// becomes static).
+    pub fn static_partition(mut self, on: bool) -> Self {
+        self.scenario.static_partition = on;
+        self
+    }
+
+    /// Selects the cluster transport of the threaded runtime.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.scenario.transport = kind;
         self
     }
 
@@ -471,6 +509,34 @@ mod tests {
             assert_eq!(c.seed, 42);
             assert!(c.tracing);
         }
+    }
+
+    #[test]
+    fn transport_knob_defaults_local_and_validates() {
+        let s = valid().build();
+        assert_eq!(s.transport, TransportKind::Local);
+        assert!(!s.static_partition);
+        let s = valid()
+            .transport(TransportKind::Socket)
+            .static_partition(true)
+            .build();
+        assert_eq!(s.transport, TransportKind::Socket);
+        assert!(s.static_partition);
+        assert!(s.node_configs()[0].static_partition);
+        // Socket meshes are capped: the full in-process mesh holds
+        // p·(p−1)/2 live loopback connections.
+        let err = Scenario::builder()
+            .items(512)
+            .uniform_cluster(MAX_SOCKET_NODES + 1, 1, 4, 8)
+            .transport(TransportKind::Socket)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("socket transport"), "{err}");
+        assert!(Scenario::builder()
+            .items(512)
+            .uniform_cluster(MAX_SOCKET_NODES + 1, 1, 4, 8)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub struct StealPoolConfig {
     pub seed: u64,
     /// Same-node steal attempts before trying a remote victim.
     pub local_attempts: usize,
+    /// Deterministic assignment mode: pre-split the pair triangle into at
+    /// least one block per worker, deal the blocks out round-robin, and
+    /// disable stealing. Work distribution (and therefore
+    /// [`StealStats::pairs_per_worker`]) becomes a pure function of
+    /// `(n, workers)` instead of depending on thread timing — what
+    /// reproducibility-sensitive runs (e.g. transport-equivalence tests)
+    /// need. Load balance is static, so leave this off for performance.
+    pub static_partition: bool,
 }
 
 impl Default for StealPoolConfig {
@@ -55,6 +63,7 @@ impl Default for StealPoolConfig {
             leaf_pairs: 1,
             seed: 0x9E3779B97F4A7C15,
             local_attempts: 2,
+            static_partition: false,
         }
     }
 }
@@ -153,7 +162,13 @@ impl StealPool {
 
         let deques: Vec<Deque<Block>> = (0..workers).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<Block>> = deques.iter().map(Deque::stealer).collect();
-        deques[0].push(Block::root(n));
+        if config.static_partition {
+            for (i, block) in partition(n, workers).into_iter().enumerate() {
+                deques[i % workers].push(block);
+            }
+        } else {
+            deques[0].push(Block::root(n));
+        }
 
         let processed = AtomicU64::new(0);
         let local_steals = AtomicU64::new(0);
@@ -189,6 +204,11 @@ impl StealPool {
                         }
                     }
                     continue;
+                }
+                if config.static_partition {
+                    // Static assignment: an empty deque means this worker
+                    // is done — nobody steals, nobody donates.
+                    break;
                 }
                 if processed.load(Ordering::Relaxed) >= total {
                     break;
@@ -248,11 +268,70 @@ impl StealPool {
     }
 }
 
+/// Splits the pair triangle of `n` items into at least `workers` non-empty
+/// blocks (fewer when the triangle is too small to split that far), in a
+/// deterministic breadth-first order.
+fn partition(n: u64, workers: usize) -> Vec<Block> {
+    let mut blocks = vec![Block::root(n)];
+    while blocks.len() < workers {
+        // Split the largest block; ties broken by position (deterministic).
+        let pos = match blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count() > 1)
+            .max_by_key(|(i, b)| (b.count(), usize::MAX - i))
+        {
+            Some((i, _)) => i,
+            None => break, // nothing left to split
+        };
+        let children = blocks[pos].split();
+        if children.is_empty() {
+            break;
+        }
+        blocks.splice(pos..=pos, children);
+    }
+    blocks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use parking_lot::Mutex;
     use std::collections::HashSet;
+
+    #[test]
+    fn partition_covers_all_pairs_disjointly() {
+        for (n, workers) in [(10u64, 4usize), (40, 8), (7, 16), (2, 3), (100, 1)] {
+            let blocks = partition(n, workers);
+            let mut seen = HashSet::new();
+            for b in &blocks {
+                assert!(b.count() > 0, "empty block for n={n}");
+                for p in b.pairs() {
+                    assert!(seen.insert(p), "pair {p:?} covered twice (n={n})");
+                }
+            }
+            assert_eq!(seen.len() as u64, n * (n - 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn static_partition_is_deterministic_and_steal_free() {
+        let topology = WorkerTopology::uniform(2, 2);
+        let config = StealPoolConfig {
+            leaf_pairs: 4,
+            static_partition: true,
+            ..Default::default()
+        };
+        let run = || StealPool::run(32, &topology, &config, |_, _| {});
+        let first = run();
+        assert_eq!(first.total_pairs(), 32 * 31 / 2);
+        assert_eq!(first.local_steals + first.remote_steals, 0);
+        // Every worker got a share, and re-runs reproduce it exactly.
+        assert!(first.pairs_per_worker.iter().all(|&c| c > 0));
+        for _ in 0..5 {
+            assert_eq!(run().pairs_per_worker, first.pairs_per_worker);
+        }
+    }
 
     #[test]
     fn all_pairs_processed_exactly_once() {

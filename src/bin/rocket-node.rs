@@ -1,0 +1,122 @@
+//! `rocket-node` — one OS process of a socket-connected Rocket cluster.
+//!
+//! Skeleton of the multi-process deployment path: every process joins the
+//! same mesh the in-process socket cluster uses (`SocketTransport::join`
+//! behind the `Transport` trait), so turning the threaded runtime into a
+//! true multi-process backend is wiring, not a rewrite. Today the binary
+//! establishes the full mesh — listener, rank handshakes, per-peer
+//! ordered connections — then runs an all-to-all ping round as a health
+//! check and reports the traffic counters.
+//!
+//! ```text
+//! rocket-node --rank R --peers HOST:PORT,HOST:PORT,...   # addrs[R] is ours
+//! ```
+//!
+//! Example, three processes on one machine:
+//!
+//! ```text
+//! rocket-node --rank 0 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
+//! rocket-node --rank 1 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
+//! rocket-node --rank 2 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rocket::comm::{SocketTransport, Transport};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rocket-node --rank R --peers HOST:PORT,HOST:PORT,...");
+    eprintln!("(the address at index R of --peers is this process's listen address)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut rank: Option<usize> = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rank" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => rank = Some(v),
+                None => return usage(),
+            },
+            "--peers" => match args.next() {
+                Some(list) => {
+                    for part in list.split(',') {
+                        match part.trim().parse() {
+                            Ok(addr) => peers.push(addr),
+                            Err(e) => {
+                                eprintln!("bad peer address '{part}': {e}");
+                                return usage();
+                            }
+                        }
+                    }
+                }
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(rank) = rank else { return usage() };
+    if peers.len() < 2 || rank >= peers.len() {
+        eprintln!("need at least two peer addresses and rank < peer count");
+        return usage();
+    }
+
+    eprintln!(
+        "[rank {rank}] joining a {}-node mesh on {}",
+        peers.len(),
+        peers[rank]
+    );
+    let transport = match SocketTransport::join(rank, &peers) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[rank {rank}] mesh establishment failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("[rank {rank}] mesh up: {} peers connected", peers.len() - 1);
+
+    // Health check: one ping to every peer, one expected from each.
+    for peer in 0..transport.cluster_size() {
+        if peer != rank
+            && transport
+                .send(peer, bytes::Bytes::from(vec![rank as u8]))
+                .is_err()
+        {
+            eprintln!("[rank {rank}] peer {peer} hung up before the ping round");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut seen = vec![false; transport.cluster_size()];
+    for _ in 0..transport.cluster_size() - 1 {
+        match transport.recv_timeout(Duration::from_secs(30)) {
+            Ok(msg) => {
+                if msg.payload.as_ref() != [msg.from as u8] {
+                    eprintln!("[rank {rank}] corrupt ping from {}", msg.from);
+                    return ExitCode::FAILURE;
+                }
+                seen[msg.from] = true;
+            }
+            Err(e) => {
+                eprintln!("[rank {rank}] ping round failed: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let heard: Vec<usize> = (0..seen.len()).filter(|&n| seen[n]).collect();
+    let stats = transport.stats().snapshot();
+    println!(
+        "[rank {rank}] ok: heard from {heard:?}; sent {} msgs / {} B, received {} msgs / {} B",
+        stats.msgs_sent, stats.bytes_sent, stats.msgs_recv, stats.bytes_recv
+    );
+    // A real worker would now enter the node engine's conductor loop; the
+    // transport handle it needs is exactly the one this skeleton holds.
+    ExitCode::SUCCESS
+}

@@ -23,7 +23,7 @@
 //! | [`apps`] | forensics / bioinformatics / microscopy applications |
 //! | [`cache`] | slot caches and the distributed cache directory |
 //! | [`steal`] | quadrant decomposition + work-stealing scheduler |
-//! | [`comm`] | in-process cluster transport |
+//! | [`comm`] | cluster transports: local channels and TCP sockets |
 //! | [`gpu`] | virtual GPU device model |
 //! | [`storage`] | object storage substrate |
 //! | [`sim`] | discrete-event cluster simulator + performance model |

@@ -113,6 +113,77 @@ fn calendar_queue_scenario_matches_default_scheduler() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
 
+#[test]
+fn adaptive_replications_honor_the_stopping_rule() {
+    let scenario = sim_scenario();
+    let backend = SimBackend::new();
+
+    // A loose target is met by the very first batch.
+    let loose = Replications::until_ci(3, 100.0, 64)
+        .run(&backend, &scenario)
+        .expect("loose run");
+    assert_eq!(loose.replications(), 4, "default batch size runs once");
+
+    // An unattainable target runs to the cap, not forever.
+    let capped = Replications::until_ci(3, 1e-12, 7)
+        .batch(3)
+        .run(&backend, &scenario)
+        .expect("capped run");
+    assert_eq!(capped.replications(), 7);
+
+    // A realistic target: the rule held at the stopping point.
+    let adaptive = Replications::until_ci(3, 0.05, 64)
+        .run(&backend, &scenario)
+        .expect("adaptive run");
+    let (mean, hw) = adaptive.elapsed.mean_ci95();
+    assert!(
+        hw <= 0.05 * mean || adaptive.replications() == 64,
+        "stopped at {} runs with hw {hw} vs mean {mean}",
+        adaptive.replications()
+    );
+
+    // Deterministic: the same base seed reproduces the whole procedure,
+    // and the seed stream is the one `Replications::new` draws from.
+    let again = Replications::until_ci(3, 0.05, 64)
+        .run(&backend, &scenario)
+        .expect("repeat run");
+    assert_eq!(adaptive.seeds, again.seeds);
+    assert_eq!(format!("{adaptive:?}"), format!("{again:?}"));
+    let fixed = Replications::new(3, adaptive.replications());
+    assert_eq!(adaptive.seeds, fixed.seeds());
+}
+
+#[test]
+fn adaptive_replications_reject_bad_targets() {
+    assert!(Replications::until_ci(1, 0.0, 8)
+        .run(&SimBackend::new(), &sim_scenario())
+        .is_err());
+    assert!(Replications::until_ci(1, f64::NAN, 8)
+        .run(&SimBackend::new(), &sim_scenario())
+        .is_err());
+    assert!(Replications::until_ci(1, 0.1, 1)
+        .run(&SimBackend::new(), &sim_scenario())
+        .is_err());
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let scenario = sim_scenario();
+    let backend = SimBackend::new();
+    let reps = Replications::new(11, 3)
+        .run(&backend, &scenario)
+        .expect("replications");
+    let json = reps.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"replications\":3"));
+    assert!(json.contains("\"backend\":\"sim\""));
+    assert!(json.contains("\"runs\":["));
+    // Per-run reports embed cleanly and agree with the standalone writer.
+    let single = backend.run(&scenario.with_seed(reps.seeds[0])).unwrap();
+    assert!(json.contains(&single.to_json()));
+}
+
 /// Toy application for threaded-backend parity: sums bytes, compares sums.
 struct ByteSum {
     files: u64,
