@@ -1,24 +1,40 @@
 //! `repro` — regenerate the Rocket paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH]
+//! repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH] [--csv PATH]
+//! repro --list
 //! ```
 //!
-//! Experiments: table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-//! fig14, fig15, cartesius96, transports, model. Reports print to stdout
-//! and land in `--out` (default `results/`) alongside CSV series for
-//! plotting. `--json PATH` appends every run/replication report as one
-//! JSON-Lines record (`{"experiment":..,"report":..}`) — the durable
-//! format for cross-PR performance tracking; the file is truncated at
-//! startup so one invocation produces one coherent snapshot.
+//! Every experiment is a parameter *study*: a `Sweep` (base scenario ×
+//! named axes) driven through a `Backend`, yielding a structured
+//! `StudyReport` with one record per grid cell. This binary owns all
+//! formatting and persistence of those reports:
+//!
+//! * stdout + `--out DIR/<name>.txt` — the rendered report (comparison
+//!   table plus the figure narrative); figure-specific CSV series land in
+//!   the same directory,
+//! * `--json PATH` — one JSON-Lines record per grid cell
+//!   (`{"experiment":…,"cell":…,"coords":…,"report":…}`) — the durable
+//!   format for cross-PR performance tracking; the file is truncated at
+//!   startup so one invocation produces one coherent snapshot,
+//! * `--csv PATH` — the study grid as CSV (axis columns + headline
+//!   replication statistics); with multiple experiments the file holds
+//!   one header+rows section per study, separated by blank lines.
+//!
+//! `--list` prints every experiment with a one-line description; unknown
+//! experiment names suggest the closest match.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rocket_bench::experiments::{run_experiment, ExpOptions, ALL_EXPERIMENTS};
+use rocket_bench::util::write_result;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH]");
+    eprintln!(
+        "usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH] [--csv PATH]"
+    );
+    eprintln!("       repro --list");
     eprintln!("experiments:");
     for (name, _) in ALL_EXPERIMENTS {
         eprintln!("  {name}");
@@ -26,13 +42,80 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn list() -> ExitCode {
+    let width = ALL_EXPERIMENTS
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0);
+    for (name, exp) in ALL_EXPERIMENTS {
+        println!("{name:<width$}  {}", exp.description());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Levenshtein edit distance (iterative two-row DP) for closest-match
+/// suggestions on unknown experiment names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The known experiment name closest to `target` (including `all`), if
+/// any is close enough to plausibly be a typo.
+fn closest_experiment(target: &str) -> Option<&'static str> {
+    ALL_EXPERIMENTS
+        .iter()
+        .map(|&(n, _)| n)
+        .chain(std::iter::once("all"))
+        .map(|n| (edit_distance(target, n), n))
+        .min()
+        .filter(|&(d, n)| d <= n.len().max(target.len()) / 2)
+        .map(|(_, n)| n)
+}
+
+/// Truncates `path` (creating parent directories), so appended records
+/// form one coherent snapshot per invocation.
+fn start_fresh(path: &PathBuf) -> Result<(), std::io::Error> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, "")
+}
+
+fn append(path: &PathBuf, content: &str) {
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, content.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not persist to {}: {e}", path.display());
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
     }
+    if args.iter().any(|a| a == "--list") {
+        return list();
+    }
     let mut target = String::new();
     let mut opts = ExpOptions::default();
+    let mut json_out: Option<PathBuf> = None;
+    let mut csv_out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,7 +132,11 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--json" => match it.next() {
-                Some(v) => opts.json_out = Some(PathBuf::from(v)),
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--csv" => match it.next() {
+                Some(v) => csv_out = Some(PathBuf::from(v)),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -67,31 +154,46 @@ fn main() -> ExitCode {
             Some(&entry) => vec![entry],
             None => {
                 eprintln!("unknown experiment '{target}'");
+                if let Some(suggestion) = closest_experiment(&target) {
+                    eprintln!("did you mean '{suggestion}'?");
+                }
                 return usage();
             }
         }
     };
-    // One invocation = one snapshot: start the JSON-Lines file fresh
-    // (experiments append to it as they run).
-    if let Some(path) = &opts.json_out {
-        let prepared = match path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            Some(parent) => std::fs::create_dir_all(parent),
-            None => Ok(()),
-        }
-        .and_then(|()| std::fs::write(path, ""));
-        if let Err(e) = prepared {
+    // One invocation = one snapshot: start the sink files fresh.
+    for path in [&json_out, &csv_out].into_iter().flatten() {
+        if let Err(e) = start_fresh(path) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
+    let mut first_csv = true;
     for (name, exp) in selected {
         eprintln!("== running {name} ==");
         let t0 = std::time::Instant::now();
         let report = run_experiment(exp, &opts);
-        println!("{report}");
+        let rendered = report.render();
+        println!("{rendered}");
+        write_result(&opts.out_dir, &format!("{name}.txt"), &rendered);
+        if let Some(path) = &json_out {
+            let mut lines = report.json_lines().join("\n");
+            lines.push('\n');
+            append(path, &lines);
+        }
+        if let Some(path) = &csv_out {
+            let mut section = String::new();
+            if !first_csv {
+                section.push('\n');
+            }
+            section.push_str(&report.to_csv());
+            append(path, &section);
+            first_csv = false;
+        }
         eprintln!(
-            "== {name} done in {:.1}s (written to {}) ==\n",
+            "== {name} done in {:.1}s ({} cells, written to {}) ==\n",
             t0.elapsed().as_secs_f64(),
+            report.cells.len(),
             opts.out_dir.join(format!("{name}.txt")).display()
         );
     }

@@ -1,26 +1,36 @@
 //! Drivers reproducing every table and figure of the paper's evaluation
-//! (§6). Each driver returns a human-readable report and writes CSV series
-//! under the results directory.
+//! (§6), expressed as first-class parameter sweeps.
 //!
-//! Every driver describes its runs as [`Scenario`]s and executes them
-//! through the unified [`Backend`] API: the multi-node experiments run on
+//! Every driver describes its runs as a [`Sweep`] — a base [`Scenario`]
+//! plus named axes — and executes the grid through a [`Study`] on the
+//! unified [`Backend`] API: the multi-node experiments run on
 //! [`SimBackend`] (the discrete-event simulator parameterized with the
-//! paper's Table 1 stage times); `table1` and part of `fig7` run the
-//! *real* applications through [`ThreadedBackend`] on synthetic data.
+//! paper's Table 1 stage times); `table1` and `transports` run the *real*
+//! applications through [`ThreadedBackend`] on synthetic data. Each
+//! driver returns the structured [`StudyReport`] (one record per grid
+//! cell, tagged with its axis coordinates); the figure-specific narrative
+//! and CSV series ride along as report notes and files under the results
+//! directory. Formatting and persistence of the study itself (text
+//! rendering, JSON-Lines, CSV) belong to the caller — see the `repro`
+//! binary.
+//!
 //! Data-set sizes are divided by a per-experiment scale factor (cache
 //! slots scale along, preserving the slots-to-items ratio that the reuse
-//! factor R depends on).
+//! factor R depends on); [`ExpOptions::extra_scale`] divides further and
+//! applies to **every** experiment, including the threaded-runtime ones
+//! (synthetic data-set sizes shrink by the same factor, floored so every
+//! experiment stays meaningful).
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rocket_apps::{profiles, WorkloadProfile};
 use rocket_apps::{BioApp, BioConfig, BioDataset};
 use rocket_apps::{ForensicsApp, ForensicsConfig, ForensicsDataset};
 use rocket_apps::{MicroscopyApp, MicroscopyConfig, MicroscopyDataset};
 use rocket_core::{
-    Application, Backend, NodeSpec, Replications, RunReport, Scenario, ThreadedBackend,
-    TransportKind,
+    Application, Axis, AxisValue, Backend, NodeSpec, ReplicationPolicy, RocketError, RunReport,
+    Scenario, Study, StudyReport, Sweep, ThreadedBackend, TransportKind,
 };
 use rocket_gpu::DeviceProfile;
 use rocket_sim::{model, SimBackend};
@@ -62,6 +72,33 @@ pub enum Experiment {
     Model,
 }
 
+impl Experiment {
+    /// One-line description (what `repro --list` prints).
+    pub fn description(self) -> &'static str {
+        match self {
+            Experiment::Table1 => {
+                "Table 1: application characteristics (real apps, threaded runtime)"
+            }
+            Experiment::Fig7 => "Fig 7: comparison-kernel run-time histograms per application",
+            Experiment::Fig8 => "Fig 8: per-thread busy time vs run time and T_min, one node",
+            Experiment::Fig9 => "Fig 9: system efficiency and R vs cache size, one node",
+            Experiment::Fig10 => "Fig 10: per-thread time for shrinking host caches (forensics)",
+            Experiment::Fig11 => "Fig 11: distributed-cache hits per hop (h = 3, 16 nodes)",
+            Experiment::Fig12 => "Fig 12: speedup/efficiency/R/IO vs node count, cache on+off",
+            Experiment::Fig13 => "Fig 13: heterogeneous nodes, individual vs combined throughput",
+            Experiment::Fig14 => "Fig 14: per-GPU throughput over time (microscopy, 7 GPUs)",
+            Experiment::Fig15 => "Fig 15: large-scale run, 1-48 nodes x 2 GPUs (Cartesius)",
+            Experiment::Cartesius96 => {
+                "Cartesius 96-GPU sweep with fixed + adaptive replication CIs"
+            }
+            Experiment::Transports => {
+                "threaded runtime over channels vs sockets: same results, wire traffic"
+            }
+            Experiment::Model => "S6.1 model sanity: closed form vs simulation at R = 1",
+        }
+    }
+}
+
 /// All experiments with their CLI names.
 pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
     ("table1", Experiment::Table1),
@@ -83,16 +120,16 @@ pub const ALL_EXPERIMENTS: &[(&str, Experiment)] = &[
 #[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Extra scale divisor on top of each experiment's default (1 = the
-    /// defaults documented in EXPERIMENTS.md).
+    /// documented defaults). Applies to every experiment: simulated
+    /// workloads shrink via [`WorkloadProfile::scaled`], synthetic
+    /// data-set sizes of the threaded experiments divide by the same
+    /// factor (floored to stay runnable), and fig7's sample count scales
+    /// down too.
     pub extra_scale: u64,
-    /// Output directory for reports and CSVs.
+    /// Output directory for figure-specific CSV series and artifacts.
     pub out_dir: PathBuf,
     /// Seed for every randomized component.
     pub seed: u64,
-    /// Append every run/replication report to this JSON-Lines file
-    /// (`{"experiment":..,"report":..}` per line) — the raw material for
-    /// cross-PR performance tracking. `None` disables persistence.
-    pub json_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -101,30 +138,7 @@ impl Default for ExpOptions {
             extra_scale: 1,
             out_dir: PathBuf::from("results"),
             seed: 0xC0FFEE,
-            json_out: None,
         }
-    }
-}
-
-/// Appends one report line to the JSON-Lines sink, when configured.
-fn log_json(opts: &ExpOptions, experiment: &str, report_json: &str) {
-    let Some(path) = &opts.json_out else {
-        return;
-    };
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        let _ = std::fs::create_dir_all(parent);
-    }
-    let line = format!("{{\"experiment\":\"{experiment}\",\"report\":{report_json}}}\n");
-    let written = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
-    if let Err(e) = written {
-        eprintln!(
-            "warning: could not persist report to {}: {e}",
-            path.display()
-        );
     }
 }
 
@@ -138,8 +152,17 @@ fn default_scale(w: &WorkloadProfile) -> u64 {
     }
 }
 
+/// The effective scale divisor for a workload: its per-app default times
+/// the extra CLI factor. Keyed on the profile *name* only — the one field
+/// [`WorkloadProfile::scaled`] is guaranteed to preserve — so drivers may
+/// re-derive the scale from a cell's already-scaled workload (axis
+/// closures do exactly that). Keep `default_scale` name-keyed.
+fn scale_of(w: &WorkloadProfile, extra: u64) -> u64 {
+    default_scale(w) * extra.max(1)
+}
+
 fn scaled(w: WorkloadProfile, opts: &ExpOptions) -> (WorkloadProfile, u64) {
-    let scale = default_scale(&w) * opts.extra_scale.max(1);
+    let scale = scale_of(&w, opts.extra_scale);
     (w.scaled(scale), scale)
 }
 
@@ -170,17 +193,43 @@ fn scenario_of(w: &WorkloadProfile, nodes: Vec<NodeSpec>, opts: &ExpOptions) -> 
     b.build()
 }
 
-/// Runs one scenario on the simulator backend, persisting the report to
-/// the JSON-Lines sink (when one is configured) under `experiment`.
-fn sim_run(scenario: &Scenario, opts: &ExpOptions, experiment: &str) -> RunReport {
-    let report = SimBackend::new().run(scenario).expect("simulation run");
-    log_json(opts, experiment, &report.to_json());
-    report
+/// Base scenario for app-axis simulator sweeps: the first profile on its
+/// baseline node (every `app` axis point replaces workload + topology).
+fn sim_base(opts: &ExpOptions) -> Scenario {
+    let (w, scale) = scaled(profiles::forensics(), opts);
+    scenario_of(&w, vec![baseline_node(&w, scale)], opts)
 }
 
-/// Runs one experiment, writes its artifacts, and returns the report text.
-pub fn run_experiment(exp: Experiment, opts: &ExpOptions) -> String {
-    let report = match exp {
+/// The `app` axis all per-application simulator sweeps share: each point
+/// installs one paper workload (scaled) and its single baseline node.
+/// Later axes (node counts, cache sizes, …) mutate from there.
+fn app_axis(opts: &ExpOptions) -> Axis {
+    let points: Vec<_> = profiles::all()
+        .into_iter()
+        .map(|w| {
+            let (w, scale) = scaled(w, opts);
+            let node = baseline_node(&w, scale);
+            (w.name, w, node)
+        })
+        .collect();
+    Axis::points(
+        "app",
+        points.into_iter().map(|(name, w, node)| {
+            (AxisValue::from(name), move |s: &mut Scenario| {
+                s.workload = w.clone();
+                s.nodes = vec![node.clone()];
+            })
+        }),
+    )
+}
+
+/// Runs one experiment and returns its structured study report (one
+/// record per grid cell). Figure CSV series land under
+/// [`ExpOptions::out_dir`]; text rendering and study persistence belong
+/// to the caller ([`StudyReport::render`] / [`StudyReport::json_lines`] /
+/// [`StudyReport::to_csv`]).
+pub fn run_experiment(exp: Experiment, opts: &ExpOptions) -> StudyReport {
+    match exp {
         Experiment::Table1 => table1(opts),
         Experiment::Fig7 => fig7(opts),
         Experiment::Fig8 => fig8(opts),
@@ -194,20 +243,15 @@ pub fn run_experiment(exp: Experiment, opts: &ExpOptions) -> String {
         Experiment::Cartesius96 => cartesius96(opts),
         Experiment::Transports => transports(opts),
         Experiment::Model => model_check(opts),
-    };
-    let name = ALL_EXPERIMENTS
-        .iter()
-        .find(|&&(_, e)| e == exp)
-        .map(|&(n, _)| n)
-        .expect("registered experiment");
-    write_result(&opts.out_dir, &format!("{name}.txt"), &report);
-    report
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Table 1 — real applications through the threaded runtime
 // ---------------------------------------------------------------------------
 
+/// Per-application facts Table 1 reports beyond the unified run report
+/// (per-stage span statistics need the typed [`rocket_core::AppReport`]).
 struct AppRun {
     name: &'static str,
     items: u64,
@@ -221,57 +265,74 @@ struct AppRun {
     failed: usize,
 }
 
-fn run_real_app<A: Application>(
-    app: Arc<A>,
-    store: Arc<dyn rocket_storage::ObjectStore>,
-    devices: usize,
-) -> AppRun
-where
-    A::Output: std::fmt::Debug,
-{
-    let raw_bytes = store.total_bytes();
-    let n = app.item_count();
-    let scenario = Scenario::builder()
-        .items(n)
-        .node(NodeSpec::uniform(
-            devices,
-            (n as usize / 2).max(4),
-            n as usize,
-        ))
-        .job_limit(16)
-        .cpu_threads(2)
-        .tracing(true)
-        .build();
-    let item_bytes = app.item_bytes() as u64;
-    let has_pre = app.has_preprocess();
-    let report = ThreadedBackend::new(app, store)
-        .run_app(&scenario)
-        .expect("run");
-    let timeline = report.timeline();
-    let stat_of = |kind: TaskKind| {
-        let mut s = OnlineStats::new();
-        for span in timeline.spans().iter().filter(|sp| sp.kind == kind) {
-            s.push(span.duration_ns() as f64 / 1e6); // ms
-        }
-        s
-    };
-    AppRun {
-        name: "",
-        items: n,
-        raw_bytes,
-        item_bytes,
-        pairs: report.outputs.len() as u64,
-        parse: stat_of(TaskKind::Parse),
-        preprocess: has_pre.then(|| stat_of(TaskKind::Preprocess)),
-        compare: stat_of(TaskKind::Compare),
-        r_factor: report.r_factor(),
-        failed: report.failed().len(),
+/// One backend over all three real applications, dispatching on the
+/// scenario's workload name — what lets Table 1 run as a single study
+/// with an `app` axis even though each application is a different
+/// [`ThreadedBackend`] type. Each run stashes the figure-specific
+/// [`AppRun`] facts (from the typed report's trace) for the driver.
+struct Table1Backend {
+    forensics: ThreadedBackend<ForensicsApp>,
+    bio: ThreadedBackend<BioApp>,
+    micro: ThreadedBackend<MicroscopyApp>,
+    runs: Mutex<Vec<AppRun>>,
+}
+
+impl Table1Backend {
+    fn run_one<A: Application>(
+        &self,
+        backend: &ThreadedBackend<A>,
+        scenario: &Scenario,
+    ) -> Result<RunReport, RocketError>
+    where
+        A::Output: std::fmt::Debug,
+    {
+        let app_report = backend.run_app(scenario)?;
+        let timeline = app_report.timeline();
+        let stat_of = |kind: TaskKind| {
+            let mut s = OnlineStats::new();
+            for span in timeline.spans().iter().filter(|sp| sp.kind == kind) {
+                s.push(span.duration_ns() as f64 / 1e6); // ms
+            }
+            s
+        };
+        let app = backend.app();
+        self.runs.lock().expect("table1 stash").push(AppRun {
+            name: scenario.workload.name,
+            items: app.item_count(),
+            raw_bytes: backend.store().total_bytes(),
+            item_bytes: app.item_bytes() as u64,
+            pairs: app_report.outputs.len() as u64,
+            parse: stat_of(TaskKind::Parse),
+            preprocess: app.has_preprocess().then(|| stat_of(TaskKind::Preprocess)),
+            compare: stat_of(TaskKind::Compare),
+            r_factor: app_report.r_factor(),
+            failed: app_report.failed().len(),
+        });
+        Ok(app_report.unified(scenario))
     }
 }
 
-fn table1(opts: &ExpOptions) -> String {
+impl Backend for Table1Backend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError> {
+        match scenario.workload.name {
+            "forensics" => self.run_one(&self.forensics, scenario),
+            "bioinformatics" => self.run_one(&self.bio, scenario),
+            "microscopy" => self.run_one(&self.micro, scenario),
+            other => Err(RocketError::Config(format!(
+                "no application registered for workload `{other}`"
+            ))),
+        }
+    }
+}
+
+fn table1(opts: &ExpOptions) -> StudyReport {
+    let extra = opts.extra_scale.max(1);
     let f_cfg = ForensicsConfig {
-        images: 24,
+        images: (24 / extra).max(8),
         cameras: 4,
         width: 64,
         height: 64,
@@ -279,38 +340,68 @@ fn table1(opts: &ExpOptions) -> String {
         ..Default::default()
     };
     let b_cfg = BioConfig {
-        species: 16,
+        species: (16 / extra).max(8),
         clusters: 4,
         proteome_len: 3000,
         seed: opts.seed,
         ..Default::default()
     };
     let m_cfg = MicroscopyConfig {
-        particles: 12,
+        particles: (12 / extra).max(6),
         seed: opts.seed,
         ..Default::default()
     };
 
-    let mut runs = Vec::new();
-    {
-        let ds = ForensicsDataset::generate(f_cfg.clone());
-        let mut r = run_real_app(Arc::new(ForensicsApp::new(&f_cfg)), Arc::new(ds.store), 1);
-        r.name = "forensics";
-        runs.push(r);
-    }
-    {
-        let ds = BioDataset::generate(b_cfg.clone());
-        let mut r = run_real_app(Arc::new(BioApp::new(&b_cfg)), Arc::new(ds.store), 1);
-        r.name = "bioinformatics";
-        runs.push(r);
-    }
-    {
-        let ds = MicroscopyDataset::generate(m_cfg.clone());
-        let mut r = run_real_app(Arc::new(MicroscopyApp::new(&m_cfg)), Arc::new(ds.store), 1);
-        r.name = "microscopy";
-        runs.push(r);
-    }
+    let f_ds = ForensicsDataset::generate(f_cfg.clone());
+    let b_ds = BioDataset::generate(b_cfg.clone());
+    let m_ds = MicroscopyDataset::generate(m_cfg.clone());
+    let backend = Table1Backend {
+        forensics: ThreadedBackend::new(Arc::new(ForensicsApp::new(&f_cfg)), Arc::new(f_ds.store)),
+        bio: ThreadedBackend::new(Arc::new(BioApp::new(&b_cfg)), Arc::new(b_ds.store)),
+        micro: ThreadedBackend::new(Arc::new(MicroscopyApp::new(&m_cfg)), Arc::new(m_ds.store)),
+        runs: Mutex::new(Vec::new()),
+    };
 
+    // One cell per application; each point installs the app's item count
+    // and the single-node topology the old driver used.
+    let apps: [(&'static str, u64); 3] = [
+        ("forensics", backend.forensics.app().item_count()),
+        ("bioinformatics", backend.bio.app().item_count()),
+        ("microscopy", backend.micro.app().item_count()),
+    ];
+    let app_points = Axis::points(
+        "app",
+        apps.into_iter().map(|(name, n)| {
+            (AxisValue::from(name), move |s: &mut Scenario| {
+                s.workload = rocket_core::WorkloadProfile::items_only(n);
+                s.workload.name = name;
+                s.nodes = vec![NodeSpec::uniform(1, (n as usize / 2).max(4), n as usize)];
+            })
+        }),
+    );
+    let base = Scenario::builder()
+        .items(apps[0].1)
+        .node(NodeSpec::uniform(
+            1,
+            (apps[0].1 as usize / 2).max(4),
+            apps[0].1 as usize,
+        ))
+        .job_limit(16)
+        .cpu_threads(2)
+        .tracing(true)
+        .seed(opts.seed)
+        .build();
+    let sweep = Sweep::over(base)
+        .axis(app_points)
+        .try_build()
+        .expect("table1 sweep");
+    let mut report = Study::new("table1")
+        .run(&backend, &sweep)
+        .expect("table1 study");
+
+    // Column order is fixed regardless of which order the cells ran in.
+    let mut runs = backend.runs.into_inner().expect("table1 stash");
+    runs.sort_by_key(|r| apps.iter().position(|&(name, _)| name == r.name));
     let mut t = Table::new(&[
         "characteristic",
         "forensics",
@@ -345,19 +436,32 @@ fn table1(opts: &ExpOptions) -> String {
     push("failed pairs", &|r| r.failed.to_string());
 
     write_result(&opts.out_dir, "table1.csv", &t.to_csv());
-    format!(
+    report.push_notes(&format!(
         "Table 1 — application characteristics (synthetic data, threaded runtime)\n\
          Paper sizes: n = 4980 / 2500 / 256; synthetic runs are scaled down\n\
          but exercise the full pipeline with real kernels.\n\n{}",
         t.render()
-    )
+    ));
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 7 — comparison-time histograms
 // ---------------------------------------------------------------------------
 
-fn fig7(opts: &ExpOptions) -> String {
+fn fig7(opts: &ExpOptions) -> StudyReport {
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(app_axis(opts))
+        .try_build()
+        .expect("fig7 sweep");
+    let mut report = Study::new("fig7")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig7 study");
+
+    // The figure itself is sampled straight from the paper's Table 1
+    // moments (unscaled profiles); the study cells complement it with one
+    // simulated baseline run per application.
+    let samples_n = (50_000 / opts.extra_scale.max(1)).max(2_000);
     let mut out = String::from(
         "Fig 7 — distribution of comparison-kernel run times\n\
          (profile-parameterized samples; paper Table 1 moments)\n\n",
@@ -366,7 +470,7 @@ fn fig7(opts: &ExpOptions) -> String {
     for w in profiles::all() {
         let mut rng = Xoshiro256::seed_from(opts.seed ^ w.items);
         let mut stats = OnlineStats::new();
-        let samples: Vec<f64> = (0..50_000)
+        let samples: Vec<f64> = (0..samples_n)
             .map(|_| w.compare.sample(&mut rng) * 1e3)
             .collect();
         for &s in &samples {
@@ -397,24 +501,32 @@ fn fig7(opts: &ExpOptions) -> String {
          right-skewed; microscopy is heavy-tailed over ~0–2000 ms (irregular).\n",
     );
     write_result(&opts.out_dir, "fig7.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 8 / Fig 10 — per-thread busy time on one node
 // ---------------------------------------------------------------------------
 
-fn fig8(opts: &ExpOptions) -> String {
+fn fig8(opts: &ExpOptions) -> StudyReport {
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(app_axis(opts))
+        .try_build()
+        .expect("fig8 sweep");
+    let mut report = Study::new("fig8")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig8 study");
+
     let mut out =
         String::from("Fig 8 — processing time per thread class, one node (TitanX Maxwell)\n\n");
     let mut csv = String::from("app,class,busy_s,runtime_s,tmin_s\n");
-    for w in profiles::all() {
-        let (w, scale) = scaled(w, opts);
-        let node = baseline_node(&w, scale);
-        let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc, opts, "fig8");
-        let tmin = model::t_min(&w);
-        let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
+    for cell in &report.cells {
+        let w = &cell.scenario.workload;
+        let scale = scale_of(w, opts.extra_scale);
+        let r = cell.run();
+        let tmin = model::t_min(w);
+        let eff = model::system_efficiency(w, &cell.scenario.all_gpus(), r.elapsed);
         out.push_str(&format!(
             "{} (scale 1/{scale}): runtime {} | T_min {} | efficiency {:.1}%\n",
             w.name,
@@ -442,22 +554,40 @@ fn fig8(opts: &ExpOptions) -> String {
          processing hides CPU, transfer, and I/O time behind the GPU).\n",
     );
     write_result(&opts.out_dir, "fig8.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
-fn fig10(opts: &ExpOptions) -> String {
+fn fig10(opts: &ExpOptions) -> StudyReport {
     let (w, scale) = scaled(profiles::forensics(), opts);
+    let sizes_gb = [20.0f64, 10.0, 5.0];
+    let cache_axis = Axis::points(
+        "host_cache_gb",
+        sizes_gb.into_iter().map(|gb| {
+            let w = w.clone();
+            (AxisValue::from(gb), move |s: &mut Scenario| {
+                s.nodes = vec![NodeSpec {
+                    gpus: vec![DeviceProfile::titanx_maxwell()],
+                    device_slots: slots_for(11e9, &w, scale).min(slots_for(gb * 1e9, &w, scale)),
+                    host_slots: slots_for(gb * 1e9, &w, scale),
+                }];
+            })
+        }),
+    );
+    let base = scenario_of(&w, vec![baseline_node(&w, scale)], opts);
+    let sweep = Sweep::over(base)
+        .axis(cache_axis)
+        .try_build()
+        .expect("fig10 sweep");
+    let mut report = Study::new("fig10")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig10 study");
+
     let mut out =
         format!("Fig 10 — forensics per-thread time vs host cache size (scale 1/{scale})\n\n");
     let mut csv = String::from("host_cache_gb,class,busy_s,runtime_s\n");
-    for gb in [20.0, 10.0, 5.0] {
-        let node = NodeSpec {
-            gpus: vec![DeviceProfile::titanx_maxwell()],
-            device_slots: slots_for(11e9, &w, scale).min(slots_for(gb * 1e9, &w, scale)),
-            host_slots: slots_for(gb * 1e9, &w, scale),
-        };
-        let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc, opts, "fig10");
+    for (cell, gb) in report.cells.iter().zip(sizes_gb) {
+        let r = cell.run();
         out.push_str(&format!(
             "host cache {gb} GB: runtime {} | R = {:.1}\n",
             fmt_secs(r.elapsed),
@@ -473,40 +603,63 @@ fn fig10(opts: &ExpOptions) -> String {
     }
     out.push_str("Shape check: every class's busy time grows as the cache shrinks\n(items are re-loaded more often).\n");
     write_result(&opts.out_dir, "fig10.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 9 — efficiency and R vs cache size
 // ---------------------------------------------------------------------------
 
-fn fig9(opts: &ExpOptions) -> String {
+const FIG9_SIZES_GB: [f64; 11] = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 11.0, 15.0, 20.0, 28.0, 40.0];
+
+fn fig9(opts: &ExpOptions) -> StudyReport {
+    let extra = opts.extra_scale.max(1);
+    // The cache axis derives slot counts from whatever workload the app
+    // axis installed — later axes see earlier mutations.
+    let cache_axis = Axis::points(
+        "cache_gb",
+        FIG9_SIZES_GB.into_iter().map(move |gb| {
+            (AxisValue::from(gb), move |s: &mut Scenario| {
+                let scale = scale_of(&s.workload, extra);
+                let paper_slot = |g: f64| slots_for(g * 1e9, &s.workload, scale);
+                // Below the device limit: device-only cache of size S (host
+                // disabled ≈ 2 slots). Above: device pinned at 11 GB, host = S.
+                let (dev, host) = if gb <= 11.0 {
+                    (paper_slot(gb), 2)
+                } else {
+                    (paper_slot(11.0), paper_slot(gb))
+                };
+                for node in &mut s.nodes {
+                    node.device_slots = dev;
+                    node.host_slots = host;
+                }
+            })
+        }),
+    );
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(app_axis(opts))
+        .axis(cache_axis)
+        .try_build()
+        .expect("fig9 sweep");
+    let mut report = Study::new("fig9")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig9 study");
+
     let mut out = String::from(
         "Fig 9 — system efficiency and R vs total cache size, one node\n\
          (sizes are paper-equivalent GB; device limit 11 GB)\n\n",
     );
     let mut csv = String::from("app,cache_gb,device_slots,host_slots,efficiency,r_factor\n");
-    let sizes_gb = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 11.0, 15.0, 20.0, 28.0, 40.0];
-    for w in profiles::all() {
-        let (w, scale) = scaled(w, opts);
-        let paper_slot = |gb: f64| slots_for(gb * 1e9, &w, scale);
+    for app_cells in report.cells.chunks(FIG9_SIZES_GB.len()) {
+        let w = &app_cells[0].scenario.workload;
+        let scale = scale_of(w, extra);
         let mut t = Table::new(&["cache", "dev slots", "host slots", "efficiency", "R"]);
-        for &gb in &sizes_gb {
-            // Below the device limit: device-only cache of size S (host
-            // disabled ≈ 2 slots). Above: device pinned at 11 GB, host = S.
-            let (dev, host) = if gb <= 11.0 {
-                (paper_slot(gb), 2)
-            } else {
-                (paper_slot(11.0), paper_slot(gb))
-            };
-            let node = NodeSpec {
-                gpus: vec![DeviceProfile::titanx_maxwell()],
-                device_slots: dev,
-                host_slots: host,
-            };
-            let sc = scenario_of(&w, vec![node], opts);
-            let r = sim_run(&sc, opts, "fig9");
-            let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
+        for (cell, gb) in app_cells.iter().zip(FIG9_SIZES_GB) {
+            let r = cell.run();
+            let dev = cell.scenario.nodes[0].device_slots;
+            let host = cell.scenario.nodes[0].host_slots;
+            let eff = model::system_efficiency(w, &cell.scenario.all_gpus(), r.elapsed);
             t.row(vec![
                 format!("{gb} GB"),
                 dev.to_string(),
@@ -528,23 +681,32 @@ fn fig9(opts: &ExpOptions) -> String {
          degrade as the cache shrinks while R grows hyperbolically.\n",
     );
     write_result(&opts.out_dir, "fig9.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 11 — distributed-cache hops
 // ---------------------------------------------------------------------------
 
-fn fig11(opts: &ExpOptions) -> String {
+fn fig11(opts: &ExpOptions) -> StudyReport {
+    let mut base = sim_base(opts);
+    base.hops = 3;
+    let sweep = Sweep::over(base)
+        .axis(app_axis(opts))
+        .axis(Axis::nodes([16]))
+        .try_build()
+        .expect("fig11 sweep");
+    let mut report = Study::new("fig11")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig11 study");
+
     let mut out = String::from("Fig 11 — distributed-cache request outcomes (h = 3, 16 nodes)\n\n");
     let mut t = Table::new(&["app", "hit@1", "hit@2", "hit@3", "miss", "lookups"]);
     let mut csv = String::from("app,hop1,hop2,hop3,miss\n");
-    for w in profiles::all() {
-        let (w, scale) = scaled(w, opts);
-        let nodes = vec![baseline_node(&w, scale); 16];
-        let mut sc = scenario_of(&w, nodes, opts);
-        sc.hops = 3;
-        let r = sim_run(&sc, opts, "fig11");
+    for cell in &report.cells {
+        let w = &cell.scenario.workload;
+        let r = cell.run();
         let lookups = r.directory.lookups().max(1);
         let pct = |x: u64| x as f64 / lookups as f64 * 100.0;
         let hop = |i: usize| r.directory.hits_at_hop.get(i).copied().unwrap_or(0);
@@ -572,23 +734,36 @@ fn fig11(opts: &ExpOptions) -> String {
          running with h = 1).\n",
     );
     write_result(&opts.out_dir, "fig11.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 12 — scalability 1..16 nodes, distributed cache on/off
 // ---------------------------------------------------------------------------
 
-fn fig12(opts: &ExpOptions) -> String {
+const FIG12_NODES: [usize; 6] = [1, 2, 4, 8, 12, 16];
+
+fn fig12(opts: &ExpOptions) -> StudyReport {
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(app_axis(opts))
+        .axis(Axis::distributed_cache([true, false]))
+        .axis(Axis::nodes(FIG12_NODES))
+        .try_build()
+        .expect("fig12 sweep");
+    let mut report = Study::new("fig12")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig12 study");
+
     let mut out = String::from(
         "Fig 12 — speedup, efficiency, R, and I/O usage vs node count\n\
          (1 TitanX Maxwell per node; dist = level-3 distributed cache)\n\n",
     );
     let mut csv =
         String::from("app,dist_cache,nodes,runtime_s,speedup,efficiency,r_factor,io_mbps\n");
-    let node_counts = [1usize, 2, 4, 8, 12, 16];
-    for w in profiles::all() {
-        let (w, scale) = scaled(w, opts);
+    for app_cells in report.cells.chunks(2 * FIG12_NODES.len()) {
+        let w = &app_cells[0].scenario.workload;
+        let scale = scale_of(w, opts.extra_scale);
         out.push_str(&format!("{} (scale 1/{scale}):\n", w.name));
         let mut t = Table::new(&[
             "nodes",
@@ -599,16 +774,14 @@ fn fig12(opts: &ExpOptions) -> String {
             "R",
             "IO MB/s",
         ]);
-        for &dist in &[true, false] {
+        for dist_cells in app_cells.chunks(FIG12_NODES.len()) {
+            let dist = dist_cells[0].scenario.distributed_cache;
             let mut t1 = None;
-            for &p in &node_counts {
-                let nodes = vec![baseline_node(&w, scale); p];
-                let mut sc = scenario_of(&w, nodes, opts);
-                sc.distributed_cache = dist;
-                let r = sim_run(&sc, opts, "fig12");
+            for (cell, p) in dist_cells.iter().zip(FIG12_NODES) {
+                let r = cell.run();
                 let t1v = *t1.get_or_insert(r.elapsed);
                 let speedup = t1v / r.elapsed;
-                let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
+                let eff = model::system_efficiency(w, &cell.scenario.all_gpus(), r.elapsed);
                 t.row(vec![
                     p.to_string(),
                     if dist { "on" } else { "off" }.to_string(),
@@ -641,7 +814,8 @@ fn fig12(opts: &ExpOptions) -> String {
          count and I/O pressure rises sharply. Microscopy is insensitive.\n",
     );
     write_result(&opts.out_dir, "fig12.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -675,21 +849,45 @@ fn heterogeneous_nodes(w: &WorkloadProfile, scale: u64) -> Vec<NodeSpec> {
     ]
 }
 
-fn fig13(opts: &ExpOptions) -> String {
+const FIG13_CONFIGS: [&str; 5] = ["node-1", "node-2", "node-3", "node-4", "all"];
+
+fn fig13(opts: &ExpOptions) -> StudyReport {
+    let extra = opts.extra_scale.max(1);
+    let config_axis = Axis::points(
+        "config",
+        (0..FIG13_CONFIGS.len()).map(move |i| {
+            (
+                AxisValue::from(FIG13_CONFIGS[i]),
+                move |s: &mut Scenario| {
+                    let scale = scale_of(&s.workload, extra);
+                    let nodes = heterogeneous_nodes(&s.workload, scale);
+                    s.nodes = if i < 4 { vec![nodes[i].clone()] } else { nodes };
+                },
+            )
+        }),
+    );
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(app_axis(opts))
+        .axis(config_axis)
+        .try_build()
+        .expect("fig13 sweep");
+    let mut report = Study::new("fig13")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig13 study");
+
     let mut out = String::from(
         "Fig 13 — heterogeneous nodes: individual vs combined throughput\n\
          node I: K20m | II: GTX980 + TitanX-Pascal | III: 2x RTX2080Ti |\n\
          node IV: GTX-Titan + TitanX-Pascal\n\n",
     );
     let mut csv = String::from("app,config,throughput_pairs_per_s\n");
-    for w in profiles::all() {
-        let (w, scale) = scaled(w, opts);
-        let nodes = heterogeneous_nodes(&w, scale);
+    for app_cells in report.cells.chunks(FIG13_CONFIGS.len()) {
+        let w = &app_cells[0].scenario.workload;
+        let scale = scale_of(w, extra);
         let mut t = Table::new(&["config", "throughput (pairs/s)"]);
         let mut sum = 0.0;
-        for (i, node) in nodes.iter().enumerate() {
-            let sc = scenario_of(&w, vec![node.clone()], opts);
-            let r = sim_run(&sc, opts, "fig13");
+        for (i, cell) in app_cells[..4].iter().enumerate() {
+            let r = cell.run();
             sum += r.throughput();
             t.row(vec![
                 format!("node {}", ["I", "II", "III", "IV"][i]),
@@ -702,8 +900,7 @@ fn fig13(opts: &ExpOptions) -> String {
                 r.throughput()
             ));
         }
-        let sc = scenario_of(&w, nodes, opts);
-        let all = sim_run(&sc, opts, "fig13");
+        let all = app_cells[4].run();
         t.row(vec!["sum of nodes".into(), format!("{sum:.1}")]);
         t.row(vec![
             "all (4 nodes)".into(),
@@ -723,10 +920,11 @@ fn fig13(opts: &ExpOptions) -> String {
          distributed cache) the sum of the individual nodes.\n",
     );
     write_result(&opts.out_dir, "fig13.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
-fn fig14(opts: &ExpOptions) -> String {
+fn fig14(opts: &ExpOptions) -> StudyReport {
     let (w, scale) = scaled(profiles::microscopy(), opts);
     let nodes = heterogeneous_nodes(&w, scale);
     let gpu_names: Vec<String> = nodes
@@ -738,9 +936,17 @@ fn fig14(opts: &ExpOptions) -> String {
                 .map(move |g| format!("{} (node {})", g.name, ["I", "II", "III", "IV"][n]))
         })
         .collect();
-    let mut sc = scenario_of(&w, nodes, opts);
-    sc.record_completions = true;
-    let r = sim_run(&sc, opts, "fig14");
+    let mut base = scenario_of(&w, nodes, opts);
+    base.record_completions = true;
+    let sweep = Sweep::over(base)
+        .axis(Axis::tag("config", ["heterogeneous"]))
+        .try_build()
+        .expect("fig14 sweep");
+    let mut report = Study::new("fig14")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig14 study");
+
+    let r = report.cells[0].run();
     let series = r.completions.as_ref().expect("completions recorded");
     let end_ns = (r.elapsed * 1e9) as u64;
     let window = 60_000_000_000u64; // 1-minute rolling average, like the paper
@@ -758,40 +964,51 @@ fn fig14(opts: &ExpOptions) -> String {
         ]);
     }
     write_result(&opts.out_dir, "fig14.csv", &csv);
-    format!(
+    report.push_notes(&format!(
         "Fig 14 — per-GPU throughput, microscopy on 7 heterogeneous GPUs\n\
          (scale 1/{scale}; rolling 1-minute average in fig14.csv)\n\n{}\n\
          Shape check: all GPUs stay busy until the end (balanced finish) and\n\
          faster GPUs sustain proportionally higher rates.\n",
         t.render()
-    )
+    ));
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Fig 15 — large-scale (Cartesius) run
 // ---------------------------------------------------------------------------
 
-fn fig15(opts: &ExpOptions) -> String {
+const FIG15_NODES: [usize; 7] = [1, 8, 16, 24, 32, 40, 48];
+
+fn fig15(opts: &ExpOptions) -> StudyReport {
     let scale = 10 * opts.extra_scale.max(1);
     let w = profiles::bioinformatics_large().scaled(scale);
+    let node = NodeSpec {
+        gpus: vec![DeviceProfile::k40m(), DeviceProfile::k40m()],
+        device_slots: slots_for(11e9, &w, scale),
+        host_slots: slots_for(80e9, &w, scale),
+    };
+    let base = scenario_of(&w, vec![node], opts);
+    let sweep = Sweep::over(base)
+        .axis(Axis::nodes(FIG15_NODES))
+        .try_build()
+        .expect("fig15 sweep");
+    let mut report = Study::new("fig15")
+        .run(&SimBackend::new(), &sweep)
+        .expect("fig15 study");
+
     let mut out = format!(
         "Fig 15 — large-scale bioinformatics (all 6818 proteomes, scale 1/{scale})\n\
          Cartesius nodes: 2x Tesla K40m, 80 GB host cache\n\n",
     );
     let mut csv = String::from("nodes,gpus,runtime_s,speedup,r_factor,efficiency\n");
     let mut t = Table::new(&["nodes", "GPUs", "runtime", "speedup", "R", "efficiency"]);
-    let node = |w: &WorkloadProfile| NodeSpec {
-        gpus: vec![DeviceProfile::k40m(), DeviceProfile::k40m()],
-        device_slots: slots_for(11e9, w, scale),
-        host_slots: slots_for(80e9, w, scale),
-    };
     let mut t1 = None;
-    for &p in &[1usize, 8, 16, 24, 32, 40, 48] {
-        let sc = scenario_of(&w, vec![node(&w); p], opts);
-        let r = sim_run(&sc, opts, "fig15");
+    for (cell, p) in report.cells.iter().zip(FIG15_NODES) {
+        let r = cell.run();
         let t1v = *t1.get_or_insert(r.elapsed);
         let speedup = t1v / r.elapsed;
-        let eff = model::system_efficiency(&w, &sc.all_gpus(), r.elapsed);
+        let eff = model::system_efficiency(&w, &cell.scenario.all_gpus(), r.elapsed);
         t.row(vec![
             p.to_string(),
             (2 * p).to_string(),
@@ -813,18 +1030,23 @@ fn fig15(opts: &ExpOptions) -> String {
          going 1 → 48 nodes) and speedup stays super-linear throughout.\n",
     );
     write_result(&opts.out_dir, "fig15.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Cartesius 96-GPU sweep (beyond the paper's figures)
 // ---------------------------------------------------------------------------
 
+const C96_NODES: [usize; 3] = [12, 24, 48];
+
 /// Distributed-cache sweep up to the full Cartesius allocation (48 nodes ×
-/// 2 Tesla K40m = 96 GPUs) on the large bioinformatics workload, plus a
-/// replicated confidence-interval run at the 96-GPU point: 8 independent
-/// seeds in parallel on the thread pool, reported as mean ± 95% CI.
-fn cartesius96(opts: &ExpOptions) -> String {
+/// 2 Tesla K40m = 96 GPUs) on the large bioinformatics workload, plus the
+/// 96-GPU point under two replication policies: a fixed 8-seed run
+/// reported as mean ± 95% CI and an adaptive run that stops once the
+/// runtime CI is within 10% of the mean. Three sub-studies (tagged by a
+/// `policy` axis) concatenated into one report.
+fn cartesius96(opts: &ExpOptions) -> StudyReport {
     let scale = 10 * opts.extra_scale.max(1);
     let w = profiles::bioinformatics_large().scaled(scale);
     let node = NodeSpec {
@@ -832,6 +1054,55 @@ fn cartesius96(opts: &ExpOptions) -> String {
         device_slots: slots_for(11e9, &w, scale),
         host_slots: slots_for(80e9, &w, scale),
     };
+
+    // The grid: distributed cache on/off × node count, one run per cell.
+    // The calendar queue is built for exactly the largest population size;
+    // results are identical to the slab heap (tested), so the sweep
+    // doubles as a large-scale exercise of that scheduler.
+    let grid = Sweep::over(scenario_of(&w, vec![node.clone()], opts))
+        .axis(Axis::distributed_cache([true, false]))
+        .axis(Axis::points(
+            "nodes",
+            C96_NODES.into_iter().map(|p| {
+                (AxisValue::from(p), move |s: &mut Scenario| {
+                    if let Some(template) = s.nodes.first().cloned() {
+                        s.nodes = vec![template; p];
+                    }
+                    s.calendar_queue = p >= 48;
+                })
+            }),
+        ))
+        .axis(Axis::tag("policy", ["once"]))
+        .try_build()
+        .expect("cartesius96 sweep");
+    let grid_report = Study::new("cartesius96")
+        .run(&SimBackend::new(), &grid)
+        .expect("cartesius96 grid");
+
+    // Replicated 96-GPU point: stage times are stochastic, so report the
+    // headline metrics with confidence intervals over 8 seeds.
+    let point = scenario_of(&w, vec![node; 48], opts);
+    let point_sweep = |policy_label: &str| {
+        Sweep::over(point.clone())
+            .axis(Axis::tag("distributed_cache", [true]))
+            .axis(Axis::tag("nodes", [48usize]))
+            .axis(Axis::tag("policy", [policy_label]))
+            .try_build()
+            .expect("cartesius96 point sweep")
+    };
+    let fixed_report = Study::new("cartesius96")
+        .replication(ReplicationPolicy::fixed(8))
+        .run(&SimBackend::new(), &point_sweep("fixed8"))
+        .expect("cartesius96 replicated point");
+    // The same point under adaptive replication: keep adding batches of
+    // seeds until the runtime CI half-width is within 10% of the mean
+    // (capped at 16 runs) — usually fewer runs than the fixed-count
+    // schedule needs for the same confidence.
+    let adaptive_report = Study::new("cartesius96")
+        .replication(ReplicationPolicy::until_ci(0.10, 16))
+        .run(&SimBackend::new(), &point_sweep("until_ci"))
+        .expect("cartesius96 adaptive point");
+
     let mut out = format!(
         "Cartesius 96-GPU sweep — bioinformatics-large (scale 1/{scale}),\n\
          2x Tesla K40m per node, distributed cache on vs off, calendar-queue\n\
@@ -841,43 +1112,31 @@ fn cartesius96(opts: &ExpOptions) -> String {
     let mut t = Table::new(&[
         "nodes", "GPUs", "dist", "runtime", "R", "pairs/s", "IO MB/s",
     ]);
-    for &dist in &[true, false] {
-        for &p in &[12usize, 24, 48] {
-            let mut sc = scenario_of(&w, vec![node.clone(); p], opts);
-            sc.distributed_cache = dist;
-            // The calendar queue is built for exactly this population size;
-            // results are identical to the slab heap (tested), so the sweep
-            // doubles as a large-scale exercise of that scheduler.
-            sc.calendar_queue = p >= 48;
-            let r = sim_run(&sc, opts, "cartesius96");
-            t.row(vec![
-                p.to_string(),
-                (2 * p).to_string(),
-                if dist { "on" } else { "off" }.to_string(),
-                fmt_secs(r.elapsed),
-                format!("{:.2}", r.r_factor()),
-                format!("{:.1}", r.throughput()),
-                format!("{:.1}", r.avg_io_mbps()),
-            ]);
-            csv.push_str(&format!(
-                "{dist},{p},{},{:.4},{:.4},{:.4},{:.4}\n",
-                2 * p,
-                r.elapsed,
-                r.r_factor(),
-                r.throughput(),
-                r.avg_io_mbps()
-            ));
-        }
+    for cell in &grid_report.cells {
+        let dist = cell.scenario.distributed_cache;
+        let p = cell.scenario.nodes.len();
+        let r = cell.run();
+        t.row(vec![
+            p.to_string(),
+            (2 * p).to_string(),
+            if dist { "on" } else { "off" }.to_string(),
+            fmt_secs(r.elapsed),
+            format!("{:.2}", r.r_factor()),
+            format!("{:.1}", r.throughput()),
+            format!("{:.1}", r.avg_io_mbps()),
+        ]);
+        csv.push_str(&format!(
+            "{dist},{p},{},{:.4},{:.4},{:.4},{:.4}\n",
+            2 * p,
+            r.elapsed,
+            r.r_factor(),
+            r.throughput(),
+            r.avg_io_mbps()
+        ));
     }
     out.push_str(&t.render());
 
-    // Replicated 96-GPU point: stage times are stochastic, so report the
-    // headline metrics with confidence intervals over 8 seeds.
-    let sc = scenario_of(&w, vec![node; 48], opts);
-    let reps = Replications::new(opts.seed, 8)
-        .run(&SimBackend::new(), &sc)
-        .expect("replicated runs");
-    log_json(opts, "cartesius96", &reps.to_json());
+    let reps = &fixed_report.cells[0].report;
     out.push_str(&format!(
         "\n96-GPU point, {}:\n  runtime    {} s\n  R          {}\n  throughput {} pairs/s\n",
         reps.summary().split('|').next().unwrap_or("").trim(),
@@ -885,15 +1144,7 @@ fn cartesius96(opts: &ExpOptions) -> String {
         reps.r_factor.avg_pm_ci95(),
         reps.throughput.avg_pm_ci95(),
     ));
-
-    // The same point under adaptive replication: keep adding batches of
-    // seeds until the runtime CI half-width is within 10% of the mean
-    // (capped at 16 runs) — usually fewer runs than the fixed-count
-    // schedule needs for the same confidence.
-    let adaptive = Replications::until_ci(opts.seed, 0.10, 16)
-        .run(&SimBackend::new(), &sc)
-        .expect("adaptive runs");
-    log_json(opts, "cartesius96", &adaptive.to_json());
+    let adaptive = &adaptive_report.cells[0].report;
     out.push_str(&format!(
         "  adaptive   stopped after {} replications (target: CI ≤ 10% of mean): runtime {} s\n",
         adaptive.replications(),
@@ -916,7 +1167,14 @@ fn cartesius96(opts: &ExpOptions) -> String {
     );
     write_result(&opts.out_dir, "cartesius96.csv", &csv);
     write_result(&opts.out_dir, "cartesius96_replications.csv", &rep_csv);
-    out
+
+    let mut report = StudyReport::concat(
+        "cartesius96",
+        vec![grid_report, fixed_report, adaptive_report],
+    )
+    .expect("cartesius96 concat");
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -928,9 +1186,9 @@ fn cartesius96(opts: &ExpOptions) -> String {
 /// wire traffic. The pair accounting must match exactly (the work
 /// assignment is statically partitioned, so it is deterministic); the
 /// socket run additionally reports genuine payload bytes on the wire.
-fn transports(opts: &ExpOptions) -> String {
+fn transports(opts: &ExpOptions) -> StudyReport {
     let cfg = ForensicsConfig {
-        images: 24,
+        images: (24 / opts.extra_scale.max(1)).max(8),
         cameras: 4,
         width: 32,
         height: 32,
@@ -941,6 +1199,26 @@ fn transports(opts: &ExpOptions) -> String {
     let app = Arc::new(ForensicsApp::new(&cfg));
     let items = app.item_count();
     let backend = ThreadedBackend::new(app, Arc::new(ds.store));
+
+    let base = Scenario::builder()
+        .items(items)
+        .nodes(4, NodeSpec::uniform(1, 8, items as usize))
+        .job_limit(8)
+        .cpu_threads(2)
+        .leaf_pairs(8)
+        .static_partition(true)
+        .seed(opts.seed)
+        .build();
+    let sweep = Sweep::over(base)
+        .axis(Axis::transport([
+            TransportKind::Local,
+            TransportKind::Socket,
+        ]))
+        .try_build()
+        .expect("transports sweep");
+    let mut report = Study::new("transports")
+        .run(&backend, &sweep)
+        .expect("transports study");
 
     let mut out = String::from(
         "Cluster transports — forensics on 4 threaded nodes, in-process\n\
@@ -959,39 +1237,30 @@ fn transports(opts: &ExpOptions) -> String {
         "runtime",
     ]);
     let mut pair_splits = Vec::new();
-    for kind in [TransportKind::Local, TransportKind::Socket] {
-        let scenario = Scenario::builder()
-            .items(items)
-            .nodes(4, NodeSpec::uniform(1, 8, items as usize))
-            .job_limit(8)
-            .cpu_threads(2)
-            .leaf_pairs(8)
-            .static_partition(true)
-            .transport(kind)
-            .seed(opts.seed)
-            .build();
-        let rep = backend.run_app(&scenario).expect("threaded run");
-        let comm = rep.comm_totals();
-        let r = rep.unified(&scenario);
-        log_json(opts, "transports", &r.to_json());
+    for cell in &report.cells {
+        let label = cell
+            .coord("transport")
+            .expect("transport coord")
+            .to_string();
+        let r = cell.run();
         t.row(vec![
-            kind.label().to_string(),
+            label.clone(),
             r.backend.to_string(),
             r.pairs.to_string(),
             format!("{:.2}", r.r_factor()),
-            comm.msgs_sent.to_string(),
-            fmt_bytes(comm.bytes_sent),
+            r.net_msgs.to_string(),
+            fmt_bytes(r.net_bytes),
             fmt_secs(r.elapsed),
         ]);
         csv.push_str(&format!(
             "{},{},{},{},{:.4},{},{},{:.4}\n",
-            kind.label(),
+            label,
             r.backend,
             r.pairs,
             r.failed_pairs,
             r.r_factor(),
-            comm.msgs_sent,
-            comm.bytes_sent,
+            r.net_msgs,
+            r.net_bytes,
             r.elapsed,
         ));
         pair_splits.push((r.pairs, r.failed_pairs, r.pairs_per_node.clone()));
@@ -1008,30 +1277,53 @@ fn transports(opts: &ExpOptions) -> String {
          transport is the only difference between the two rows.\n",
     );
     write_result(&opts.out_dir, "transports.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 // ---------------------------------------------------------------------------
 // Model sanity
 // ---------------------------------------------------------------------------
 
-fn model_check(opts: &ExpOptions) -> String {
+fn model_check(opts: &ExpOptions) -> StudyReport {
+    // Caches big enough for the whole (scaled) data set → R = 1.
+    let points: Vec<_> = profiles::all()
+        .into_iter()
+        .map(|w| {
+            let (w, _) = scaled(w, opts);
+            (w.name, w)
+        })
+        .collect();
+    let full_cache_axis = Axis::points(
+        "app",
+        points.into_iter().map(|(name, w)| {
+            (AxisValue::from(name), move |s: &mut Scenario| {
+                s.nodes = vec![NodeSpec::uniform(1, w.items as usize, w.items as usize)];
+                s.workload = w.clone();
+            })
+        }),
+    );
+    let sweep = Sweep::over(sim_base(opts))
+        .axis(full_cache_axis)
+        .try_build()
+        .expect("model sweep");
+    let mut report = Study::new("model")
+        .run(&SimBackend::new(), &sweep)
+        .expect("model study");
+
     let mut out = String::from("§6.1 performance model vs simulation (R = 1 configurations)\n\n");
     let mut t = Table::new(&["app", "T_min (model)", "runtime (sim)", "ratio"]);
     let mut csv = String::from("app,tmin_s,sim_s,ratio\n");
-    for w in profiles::all() {
-        let (w, _) = scaled(w, opts);
-        // Caches big enough for the whole (scaled) data set → R = 1.
-        let node = NodeSpec::uniform(1, w.items as usize, w.items as usize);
-        let sc = scenario_of(&w, vec![node], opts);
-        let r = sim_run(&sc, opts, "model");
+    for cell in &report.cells {
+        let w = &cell.scenario.workload;
+        let r = cell.run();
         assert!(
             (r.r_factor() - 1.0).abs() < 1e-9,
             "{}: R = {}",
             w.name,
             r.r_factor()
         );
-        let tmin = model::t_min(&w);
+        let tmin = model::t_min(w);
         let ratio = r.elapsed / tmin;
         t.row(vec![
             w.name.to_string(),
@@ -1050,42 +1342,85 @@ fn model_check(opts: &ExpOptions) -> String {
          few percent of the modelled lower bound (perfect overlap).\n",
     );
     write_result(&opts.out_dir, "model.csv", &csv);
-    out
+    report.push_notes(&out);
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rocket_apps::json::Json;
 
     fn tiny_opts() -> ExpOptions {
         ExpOptions {
             extra_scale: 20, // shrink everything hard: tests must be quick
             out_dir: std::env::temp_dir().join(format!("rocket-exp-{}", std::process::id())),
             seed: 7,
-            json_out: None,
         }
+    }
+
+    /// Asserts the study's JSON-Lines records parse with a real JSON
+    /// parser and carry one record per grid cell with its coordinates.
+    fn assert_round_trips(report: &StudyReport) {
+        let lines = report.json_lines();
+        assert_eq!(lines.len(), report.cells.len(), "one record per cell");
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("bad JSON line {i}: {e}\n{line}"));
+            assert_eq!(
+                v.get("experiment").and_then(|j| match j {
+                    Json::Str(s) => Some(s.as_str()),
+                    _ => None,
+                }),
+                Some(report.experiment.as_str())
+            );
+            assert_eq!(v.get("cell").and_then(Json::as_f64), Some(i as f64));
+            for axis in &report.axes {
+                assert!(
+                    v.get("coords").and_then(|c| c.get(axis)).is_some(),
+                    "cell {i} missing coordinate `{axis}`"
+                );
+            }
+            assert!(v.get("report").and_then(|r| r.get("runs")).is_some());
+        }
+        // The whole-study document parses too.
+        let doc = Json::parse(&report.to_json()).expect("study JSON parses");
+        assert_eq!(
+            doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(report.cells.len())
+        );
     }
 
     #[test]
     fn model_check_runs_and_validates() {
         let report = model_check(&tiny_opts());
-        assert!(report.contains("T_min"));
-        assert!(report.contains("forensics"));
+        assert_eq!(report.axes, vec!["app"]);
+        assert_eq!(report.cells.len(), 3);
+        let text = report.render();
+        assert!(text.contains("T_min"));
+        assert!(text.contains("forensics"));
+        assert_round_trips(&report);
     }
 
     #[test]
     fn fig7_reports_all_apps() {
         let report = fig7(&tiny_opts());
+        let text = report.render();
         for name in ["forensics", "bioinformatics", "microscopy"] {
-            assert!(report.contains(name), "missing {name}");
+            assert!(text.contains(name), "missing {name}");
         }
+        assert_round_trips(&report);
     }
 
     #[test]
     fn fig11_percentages_sum_to_one() {
         let opts = tiny_opts();
         let report = fig11(&opts);
-        assert!(report.contains("hit@1"));
+        assert!(report.render().contains("hit@1"));
+        assert_eq!(report.axes, vec!["app", "nodes"]);
+        for cell in &report.cells {
+            assert_eq!(cell.scenario.nodes.len(), 16);
+            assert_eq!(cell.scenario.hops, 3);
+        }
         let csv = std::fs::read_to_string(opts.out_dir.join("fig11.csv")).unwrap();
         for line in csv.lines().skip(1) {
             let parts: Vec<f64> = line
@@ -1096,6 +1431,7 @@ mod tests {
             let total: f64 = parts.iter().sum();
             assert!((total - 100.0).abs() < 1.0, "outcomes sum to {total}");
         }
+        assert_round_trips(&report);
     }
 
     #[test]
@@ -1106,56 +1442,64 @@ mod tests {
         assert!(names.contains(&"fig15"));
         assert!(names.contains(&"cartesius96"));
         assert!(names.contains(&"transports"));
+        for &(name, exp) in ALL_EXPERIMENTS {
+            assert!(!exp.description().is_empty(), "{name} lacks a description");
+        }
     }
 
     #[test]
     fn transports_agree_and_sockets_carry_bytes() {
-        let opts = ExpOptions {
-            json_out: Some(
-                std::env::temp_dir()
-                    .join(format!("rocket-transports-{}.jsonl", std::process::id())),
-            ),
-            ..tiny_opts()
-        };
+        let opts = tiny_opts();
         let report = transports(&opts);
-        assert!(report.contains("threaded+socket"), "{report}");
-        let csv = std::fs::read_to_string(opts.out_dir.join("transports.csv")).unwrap();
-        let rows: Vec<&str> = csv.lines().skip(1).collect();
-        assert_eq!(rows.len(), 2);
-        let field = |row: &str, i: usize| row.split(',').nth(i).unwrap().to_string();
+        assert!(report.render().contains("threaded+socket"), "bad report");
+        assert_eq!(report.axes, vec!["transport"]);
+        assert_eq!(report.cells.len(), 2);
         // Identical pair counts, zero failures on both transports.
-        assert_eq!(field(rows[0], 2), field(rows[1], 2));
-        assert_eq!(field(rows[0], 3), "0");
-        assert_eq!(field(rows[1], 3), "0");
-        // The socket row carries real traffic; both rows logged JSON.
-        let socket_bytes: u64 = field(rows[1], 6).parse().unwrap();
-        assert!(socket_bytes > 0);
-        let json = std::fs::read_to_string(opts.json_out.as_ref().unwrap()).unwrap();
-        let _ = std::fs::remove_file(opts.json_out.as_ref().unwrap());
-        assert_eq!(json.lines().count(), 2);
-        assert!(json
-            .lines()
-            .all(|l| l.contains("\"experiment\":\"transports\"")));
-        assert!(json.contains("\"backend\":\"threaded+socket\""));
+        let (local, socket) = (report.cells[0].run(), report.cells[1].run());
+        assert_eq!(local.pairs, socket.pairs);
+        assert_eq!(local.failed_pairs, 0);
+        assert_eq!(socket.failed_pairs, 0);
+        assert_eq!(local.pairs_per_node, socket.pairs_per_node);
+        // The socket row carries real traffic and names its backend.
+        assert_eq!(socket.backend, "threaded+socket");
+        assert!(socket.net_bytes > 0);
+        assert!(socket.net_msgs > 0);
+        let csv = std::fs::read_to_string(opts.out_dir.join("transports.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 3, "header + one row per transport");
+        assert_round_trips(&report);
     }
 
     #[test]
     fn cartesius96_runs_at_tiny_scale() {
         // extra_scale 20 shrinks the workload to 34 items; the sweep and
-        // its 8-seed replication must still complete and report CIs.
-        let opts = ExpOptions {
-            extra_scale: 20,
-            ..tiny_opts()
-        };
+        // its replicated points must still complete and report CIs.
+        let opts = tiny_opts();
         let report = cartesius96(&opts);
-        assert!(report.contains("96"), "missing gpu column: {report}");
-        assert!(report.contains('±'), "missing CI: {report}");
-        assert!(
-            report.contains("adaptive"),
-            "missing adaptive run: {report}"
-        );
+        let text = report.render();
+        assert!(text.contains("96"), "missing gpu column: {text}");
+        assert!(text.contains('±'), "missing CI: {text}");
+        assert!(text.contains("adaptive"), "missing adaptive run: {text}");
+        // 6 grid cells + fixed point + adaptive point, uniform axes.
+        assert_eq!(report.cells.len(), 8);
+        assert_eq!(report.axes, vec!["distributed_cache", "nodes", "policy"]);
+        assert_eq!(report.cells[6].report.replications(), 8);
+        assert!(report.cells[7].report.replications() >= 2);
         let csv =
             std::fs::read_to_string(opts.out_dir.join("cartesius96_replications.csv")).unwrap();
         assert_eq!(csv.lines().count(), 9, "8 replications + header");
+        assert_round_trips(&report);
+    }
+
+    #[test]
+    fn extra_scale_shrinks_every_experiment_family() {
+        // The scale knob must reach the threaded experiments and fig7 too
+        // (they historically ignored it).
+        let opts = tiny_opts();
+        let report = transports(&opts);
+        assert_eq!(report.cells[0].run().items, 8, "images shrink with scale");
+        let t1 = table1(&opts);
+        let items: Vec<u64> = t1.cells.iter().map(|c| c.run().items).collect();
+        assert_eq!(items, vec![8, 8, 6]);
+        assert_round_trips(&t1);
     }
 }

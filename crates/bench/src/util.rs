@@ -1,6 +1,5 @@
 //! Report formatting and CSV output helpers.
 
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A simple fixed-width text table builder for terminal reports.
@@ -26,32 +25,10 @@ impl Table {
         self
     }
 
-    /// Renders with aligned columns.
+    /// Renders with aligned columns (delegates to the driver API's shared
+    /// renderer, so experiment tables and study tables look alike).
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.chars().count());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
-            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
-                if i > 0 {
-                    out.push_str("  ");
-                }
-                let _ = write!(out, "{cell:>w$}", w = w);
-            }
-            out.push('\n');
-        };
-        fmt_row(&self.header, &widths, &mut out);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            fmt_row(row, &widths, &mut out);
-        }
-        out
+        rocket_core::study::render_table(&self.header, &self.rows)
     }
 
     /// Renders as CSV.

@@ -61,6 +61,11 @@ impl<A: Application> ThreadedBackend<A> {
         &self.app
     }
 
+    /// The wrapped object store.
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
     /// Runs the scenario and returns the typed report (per-pair outputs
     /// included). [`Backend::run`] is this plus [`AppReport::unified`].
     ///

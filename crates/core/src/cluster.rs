@@ -169,6 +169,7 @@ impl<O> AppReport<O> {
             remote_fetches: self.total_remote_fetches(),
             io_bytes: 0,
             net_bytes: self.comm_totals().bytes_sent,
+            net_msgs: self.comm_totals().msgs_sent,
             steals: self.steal.local_steals + self.steal.remote_steals,
             busy,
             device_cache: self.device_cache(),

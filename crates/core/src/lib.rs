@@ -66,6 +66,8 @@ pub mod error;
 pub mod replications;
 pub mod report;
 pub mod scenario;
+pub mod study;
+pub mod sweep;
 pub mod workload;
 
 pub use app::{bytesutil, Application};
@@ -77,6 +79,8 @@ pub use error::{AppError, RocketError};
 pub use replications::{AdaptiveReplications, ReplicationReport, Replications};
 pub use report::{BusyTimes, RunReport};
 pub use scenario::{NodeSpec, Scenario, ScenarioBuilder, MAX_SOCKET_NODES};
+pub use study::{CellReport, ReplicationPolicy, Study, StudyReport};
+pub use sweep::{Axis, AxisValue, Sweep, SweepBuilder, SweepCell};
 pub use workload::WorkloadProfile;
 
 // Re-export the types users need at the API boundary.

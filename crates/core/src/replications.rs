@@ -206,6 +206,13 @@ pub struct ReplicationReport {
 }
 
 impl ReplicationReport {
+    /// Builds a report from runs that already happened (what
+    /// [`crate::Study`] uses to wrap single-run cells). `seeds` must be
+    /// index-aligned with `runs`.
+    pub fn from_runs(backend: &'static str, seeds: Vec<u64>, runs: Vec<RunReport>) -> Self {
+        Self::fold(backend, seeds, runs)
+    }
+
     fn fold(backend: &'static str, seeds: Vec<u64>, runs: Vec<RunReport>) -> Self {
         let mut elapsed = OnlineStats::new();
         let mut r_factor = OnlineStats::new();

@@ -117,6 +117,9 @@ pub struct RunReport {
     pub io_bytes: u64,
     /// Bytes moved between nodes (item fetches).
     pub net_bytes: u64,
+    /// Messages between nodes (threaded runtime: transport messages sent;
+    /// simulator: distributed-directory protocol messages).
+    pub net_msgs: u64,
     /// Work-steal count (blocks moved between workers/nodes).
     pub steals: u64,
     /// Busy seconds per resource class.
@@ -177,7 +180,7 @@ impl RunReport {
         out.push_str(&format!(
             ",\"elapsed_s\":{},\"items\":{},\"pairs\":{},\"failed_pairs\":{},\
              \"loads\":{},\"remote_fetches\":{},\"io_bytes\":{},\"net_bytes\":{},\
-             \"steals\":{},\"r_factor\":{},\"throughput_pairs_s\":{}",
+             \"net_msgs\":{},\"steals\":{},\"r_factor\":{},\"throughput_pairs_s\":{}",
             json_f64(self.elapsed),
             self.items,
             self.pairs,
@@ -186,6 +189,7 @@ impl RunReport {
             self.remote_fetches,
             self.io_bytes,
             self.net_bytes,
+            self.net_msgs,
             self.steals,
             json_f64(self.r_factor()),
             json_f64(self.throughput()),
@@ -250,6 +254,7 @@ mod tests {
             remote_fetches: 3,
             io_bytes: 4_000_000,
             net_bytes: 0,
+            net_msgs: 0,
             steals: 1,
             busy: BusyTimes::default(),
             device_cache: CacheStats::default(),

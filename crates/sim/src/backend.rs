@@ -68,6 +68,7 @@ fn unified(r: SimResult) -> RunReport {
         remote_fetches: r.remote_fetches,
         io_bytes: r.io_bytes,
         net_bytes: r.net_bytes,
+        net_msgs: r.directory.messages_sent,
         steals: r.steals,
         busy: BusyTimes {
             preprocess: r.busy_preprocess,

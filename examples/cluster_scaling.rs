@@ -1,13 +1,14 @@
 //! Scaling study on the discrete-event simulator: reproduce the paper's
 //! super-linear-speedup effect (Fig 12) interactively, at any size —
-//! driven through the unified `Scenario`/`Backend` API, with a replicated
-//! confidence-interval run at the largest point.
+//! expressed as a first-class `Sweep` (node count × distributed cache)
+//! driven through a `Study`, with a replicated confidence-interval run at
+//! the largest point.
 //!
 //! ```text
 //! cargo run --release --example cluster_scaling [max_nodes]
 //! ```
 
-use rocket::core::{Backend, NodeSpec, Replications, Scenario};
+use rocket::core::{Axis, NodeSpec, ReplicationPolicy, Scenario, Study, Sweep};
 use rocket::gpu::DeviceProfile;
 use rocket::sim::{model, SimBackend};
 
@@ -15,7 +16,8 @@ fn main() {
     let max_nodes: usize = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
+        .unwrap_or(16)
+        .max(1);
 
     // The paper's forensics workload at 1/10 scale; cache sizes follow the
     // DAS-5 hardware (11 GB usable device memory, 40 GB host cache).
@@ -28,58 +30,74 @@ fn main() {
         host_slots: slots(40.0),
     };
 
+    // Node counts 1, 2, 4, … up to max_nodes.
+    let node_counts: Vec<usize> = std::iter::successors(Some(1usize), |p| Some(p * 2))
+        .take_while(|&p| p <= max_nodes)
+        .collect();
+    let base = Scenario::builder()
+        .workload(w.clone())
+        .node(node.clone())
+        .build();
+    let sweep = Sweep::over(base)
+        .axis(Axis::distributed_cache([true, false]))
+        .axis(Axis::nodes(node_counts.clone()))
+        .try_build()
+        .expect("valid sweep");
+
     println!(
         "forensics (n = {}, {} pairs), 1 TitanX Maxwell per node",
         w.items,
         w.pairs()
     );
+    let backend = SimBackend::new();
+    let study = Study::new("cluster_scaling")
+        .run(&backend, &sweep)
+        .expect("study run");
+
+    // The structured grid: every cell knows its coordinates.
     println!(
         "{:>5}  {:>5}  {:>10}  {:>8}  {:>6}  {:>10}",
         "nodes", "dist", "runtime", "speedup", "R", "IO MB/s"
     );
-    let backend = SimBackend::new();
-    let mut largest = None;
-    for dist in [true, false] {
-        let mut t1 = None;
-        let mut p = 1;
-        while p <= max_nodes {
-            let scenario = Scenario::builder()
-                .workload(w.clone())
-                .nodes(p, node.clone())
-                .distributed_cache(dist)
-                .build();
-            let r = backend.run(&scenario).expect("simulation run");
-            let base = *t1.get_or_insert(r.elapsed);
+    for dist_cells in study.cells.chunks(node_counts.len()) {
+        let t1 = dist_cells[0].run().elapsed;
+        for cell in dist_cells {
+            let r = cell.run();
             println!(
-                "{p:>5}  {:>5}  {:>9.1}s  {:>7.2}x  {:>6.2}  {:>10.1}",
-                if dist { "on" } else { "off" },
+                "{:>5}  {:>5}  {:>9.1}s  {:>7.2}x  {:>6.2}  {:>10.1}",
+                cell.scenario.nodes.len(),
+                if cell.scenario.distributed_cache {
+                    "on"
+                } else {
+                    "off"
+                },
                 r.elapsed,
-                base / r.elapsed,
+                t1 / r.elapsed,
                 r.r_factor(),
                 r.avg_io_mbps()
             );
-            if dist {
-                largest = Some(scenario);
-            }
-            p *= 2;
         }
     }
     let tmin = model::t_min(&w);
     println!("\nmodelled single-GPU lower bound T_min = {tmin:.1}s");
 
-    // Replicate the largest distributed-cache point over 8 seeds on the
-    // thread pool: stage times are stochastic, so the honest headline is a
-    // mean with a 95% confidence interval.
-    if let Some(scenario) = largest {
-        let reps = Replications::new(scenario.seed, 8)
-            .run(&backend, &scenario)
-            .expect("replications");
-        println!(
-            "\n{} nodes × 8 seeds: runtime {} s | R {}",
-            scenario.nodes.len(),
-            reps.elapsed.avg_pm_ci95(),
-            reps.r_factor.avg_pm_ci95()
-        );
-    }
+    // Replicate the largest distributed-cache point over 8 seeds: stage
+    // times are stochastic, so the honest headline is a mean with a 95%
+    // confidence interval — a one-cell study under a fixed(8) policy.
+    let largest = &study.cells[node_counts.len() - 1];
+    let point = Sweep::over(largest.scenario.clone())
+        .try_build()
+        .expect("point sweep");
+    let reps = Study::new("largest_point")
+        .replication(ReplicationPolicy::fixed(8))
+        .run(&backend, &point)
+        .expect("replications");
+    let cell = &reps.cells[0].report;
+    println!(
+        "\n{} nodes × 8 seeds: runtime {} s | R {}",
+        largest.scenario.nodes.len(),
+        cell.elapsed.avg_pm_ci95(),
+        cell.r_factor.avg_pm_ci95()
+    );
     println!("\nsuper-linear speedup with the distributed cache on: the combined\nhost caches hold the whole data set, so R falls as nodes are added.");
 }

@@ -37,9 +37,13 @@
 //! and runtime knobs; any [`core::Backend`] (the threaded runtime via
 //! [`core::ThreadedBackend`], the simulator via [`sim::SimBackend`]) runs
 //! it into one [`core::RunReport`], and [`core::Replications`] fans a
-//! scenario out over N seeds with confidence intervals. See
-//! `examples/quickstart.rs` for a complete runnable program; the short
-//! version:
+//! scenario out over N seeds with confidence intervals. Parameter sweeps
+//! are first-class: a [`Sweep`] expands a base scenario over named
+//! [`Axis`] values into a validated grid and a [`Study`] drives it
+//! through any backend into a structured [`StudyReport`] (one record per
+//! cell, tagged with its coordinates). See `examples/quickstart.rs` and
+//! `examples/cluster_scaling.rs` for complete runnable programs; the
+//! short version:
 //!
 //! ```
 //! use rocket::core::{Backend, NodeSpec, Scenario};
@@ -53,7 +57,20 @@
 //! assert_eq!(scenario.total_gpus(), 1);
 //! let report = SimBackend::new().run(&scenario).unwrap();
 //! assert_eq!(report.pairs, 32 * 31 / 2);
+//!
+//! // The same scenario swept over a node-count axis, one report per cell:
+//! use rocket::{Axis, Study, Sweep};
+//! let sweep = Sweep::over(scenario)
+//!     .axis(Axis::nodes([1, 2, 4]))
+//!     .try_build()
+//!     .unwrap();
+//! let study = Study::new("scaling").run(&SimBackend::new(), &sweep).unwrap();
+//! assert_eq!(study.cells.len(), 3);
 //! ```
+
+// The sweep/study driver types at the crate root: parameter grids are the
+// primary way experiments are expressed (see `core::Sweep`/`core::Study`).
+pub use rocket_core::{Axis, AxisValue, CellReport, ReplicationPolicy, Study, StudyReport, Sweep};
 
 pub use rocket_apps as apps;
 pub use rocket_cache as cache;

@@ -1,0 +1,290 @@
+//! Integration tests of the first-class `Sweep`/`Study` driver API
+//! through the public facade: deterministic ordered grid expansion,
+//! `try_build` validation of invalid axis combinations, byte-identical
+//! study reports across cell parallelism, and JSON round-trips checked
+//! with a real JSON parser.
+
+use rocket::apps::json::Json;
+use rocket::core::{
+    Axis, AxisValue, Backend, NodeSpec, ReplicationPolicy, Scenario, Study, StudyReport, Sweep,
+    TransportKind, WorkloadProfile, MAX_SOCKET_NODES,
+};
+use rocket::sim::SimBackend;
+use rocket::stats::Dist;
+
+/// A stochastic simulation workload, so replication statistics and
+/// per-seed results are non-degenerate.
+fn stochastic_workload(items: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "sweep-study",
+        items,
+        file_bytes: 1_000_000,
+        item_bytes: 10_000_000,
+        parse: Dist::normal_nonneg(10e-3, 2e-3),
+        preprocess: Some(Dist::Constant(5e-3)),
+        compare: Dist::LogNormal {
+            mean: 1e-3,
+            std: 0.4e-3,
+        },
+        postprocess: Dist::Constant(0.0),
+        paper_device_slots: 16,
+        paper_host_slots: 32,
+    }
+}
+
+fn base_scenario() -> Scenario {
+    Scenario::builder()
+        .workload(stochastic_workload(32))
+        .node(NodeSpec::uniform(1, 8, 16))
+        .seed(0xC0FFEE)
+        .build()
+}
+
+fn sweep_2x2() -> Sweep {
+    Sweep::over(base_scenario())
+        .axis(Axis::nodes([1, 2]))
+        .axis(Axis::distributed_cache([true, false]))
+        .try_build()
+        .expect("2x2 sweep")
+}
+
+#[test]
+fn grid_expansion_is_deterministic_and_ordered() {
+    let sweep = sweep_2x2();
+    assert_eq!(sweep.len(), 4);
+    assert_eq!(sweep.axis_names(), vec!["nodes", "distributed_cache"]);
+    let cells = sweep.cells();
+    // Row-major: first axis slowest, last axis fastest.
+    let coords: Vec<(u64, bool)> = cells
+        .iter()
+        .map(|c| {
+            let nodes = match c.coords[0].1 {
+                AxisValue::U64(v) => v,
+                ref other => panic!("unexpected node coord {other:?}"),
+            };
+            let dist = match c.coords[1].1 {
+                AxisValue::Bool(v) => v,
+                ref other => panic!("unexpected cache coord {other:?}"),
+            };
+            (nodes, dist)
+        })
+        .collect();
+    assert_eq!(coords, vec![(1, true), (1, false), (2, true), (2, false)]);
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.index, i);
+        assert_eq!(cell.scenario.nodes.len(), coords[i].0 as usize);
+        assert_eq!(cell.scenario.distributed_cache, coords[i].1);
+    }
+    // Same axes ⇒ same cell order, every time.
+    let again = sweep.cells();
+    assert_eq!(format!("{cells:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn invalid_axis_combinations_rejected_by_try_build() {
+    // Socket transport × oversized topology: each cell is validated with
+    // the full scenario rules, and the error names the coordinates.
+    let err = Sweep::over(base_scenario())
+        .axis(Axis::transport([
+            TransportKind::Local,
+            TransportKind::Socket,
+        ]))
+        .axis(Axis::nodes([2, MAX_SOCKET_NODES + 1]))
+        .try_build()
+        .unwrap_err();
+    assert!(err.contains("socket transport"), "{err}");
+    assert!(err.contains("transport=socket"), "{err}");
+    assert!(
+        err.contains(&format!("nodes={}", MAX_SOCKET_NODES + 1)),
+        "{err}"
+    );
+    // Degenerate knob values are caught cell-by-cell too.
+    assert!(Sweep::over(base_scenario())
+        .axis(Axis::hops([1, 0]))
+        .try_build()
+        .is_err());
+    // Duplicate axis names and empty axes are structural errors.
+    assert!(Sweep::over(base_scenario())
+        .axis(Axis::nodes([1]))
+        .axis(Axis::nodes([2]))
+        .try_build()
+        .is_err());
+    assert!(Sweep::over(base_scenario())
+        .axis(Axis::items(Vec::new()))
+        .try_build()
+        .is_err());
+}
+
+#[test]
+fn study_reports_identical_across_cell_parallelism() {
+    // A 2×2 sim-backend study must be byte-identical whether cells run
+    // sequentially or four at a time.
+    let backend = SimBackend::new();
+    let run = |threads: usize| {
+        Study::new("2x2")
+            .threads(threads)
+            .run(&backend, &sweep_2x2())
+            .expect("study run")
+    };
+    let serial = run(1);
+    assert_eq!(serial.cells.len(), 4);
+    let serial_bytes = format!("{serial:?}");
+    assert_eq!(
+        serial_bytes,
+        format!("{:?}", run(4)),
+        "threads(4) diverged from threads(1)"
+    );
+    // Replicated cells hold too (replications nest inside cell slots).
+    let rep = |threads: usize| {
+        Study::new("2x2")
+            .replication(ReplicationPolicy::fixed(3))
+            .threads(threads)
+            .run(&backend, &sweep_2x2())
+            .expect("replicated study")
+    };
+    assert_eq!(format!("{:?}", rep(1)), format!("{:?}", rep(4)));
+}
+
+#[test]
+fn once_policy_cells_equal_direct_backend_runs() {
+    let backend = SimBackend::new();
+    let study = Study::new("direct").run(&backend, &sweep_2x2()).unwrap();
+    for cell in &study.cells {
+        let direct = backend.run(&cell.scenario).expect("direct run");
+        assert_eq!(format!("{:?}", cell.run()), format!("{direct:?}"));
+    }
+}
+
+#[test]
+fn study_json_round_trips_with_a_real_parser() {
+    let study = Study::new("roundtrip")
+        .replication(ReplicationPolicy::fixed(2))
+        .run(&SimBackend::new(), &sweep_2x2())
+        .unwrap();
+    // Whole-study document: parseable, one cell record per grid cell,
+    // coordinates preserved with native JSON types.
+    let doc = Json::parse(&study.to_json()).expect("study JSON parses");
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("cells array");
+    assert_eq!(cells.len(), 4);
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.get("cell").and_then(Json::as_f64), Some(i as f64));
+        let coords = cell.get("coords").expect("coords object");
+        assert!(matches!(coords.get("nodes"), Some(Json::Num(_))));
+        assert!(matches!(
+            coords.get("distributed_cache"),
+            Some(Json::Bool(_))
+        ));
+        let report = cell.get("report").expect("replication report");
+        assert_eq!(report.get("replications").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            report.get("runs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+    // JSON-Lines form: one record per cell, each standalone-parseable.
+    let lines = study.json_lines();
+    assert_eq!(lines.len(), 4);
+    for line in &lines {
+        let v = Json::parse(line).expect("JSONL record parses");
+        assert_eq!(
+            v.get("experiment"),
+            Some(&Json::Str("roundtrip".to_string()))
+        );
+        assert!(v.get("coords").is_some() && v.get("report").is_some());
+    }
+}
+
+#[test]
+fn csv_has_one_row_per_cell_with_axis_columns() {
+    let study = Study::new("csv")
+        .run(&SimBackend::new(), &sweep_2x2())
+        .unwrap();
+    let csv = study.to_csv();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(
+        header.starts_with("experiment,cell,nodes,distributed_cache,replications,pairs,"),
+        "{header}"
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 4);
+    assert!(rows[0].starts_with("csv,0,1,true,"), "{}", rows[0]);
+    assert!(rows[3].starts_with("csv,3,2,false,"), "{}", rows[3]);
+}
+
+#[test]
+fn concat_builds_multi_policy_studies() {
+    let backend = SimBackend::new();
+    let tag = |label: &str| {
+        Sweep::over(base_scenario())
+            .axis(Axis::tag("policy", [label]))
+            .try_build()
+            .unwrap()
+    };
+    let once = Study::new("part").run(&backend, &tag("once")).unwrap();
+    let fixed = Study::new("part")
+        .replication(ReplicationPolicy::fixed(4))
+        .run(&backend, &tag("fixed4"))
+        .unwrap();
+    let merged = StudyReport::concat("multi", vec![once, fixed]).unwrap();
+    assert_eq!(merged.cells.len(), 2);
+    assert_eq!(merged.cells[0].cell, 0);
+    assert_eq!(merged.cells[1].cell, 1);
+    assert_eq!(merged.cells[0].report.replications(), 1);
+    assert_eq!(merged.cells[1].report.replications(), 4);
+    assert_eq!(
+        merged.cells[1].coord("policy"),
+        Some(&AxisValue::Str("fixed4".into()))
+    );
+    // Mismatched axes refuse to merge.
+    let other = Study::new("part")
+        .run(
+            &backend,
+            &Sweep::over(base_scenario())
+                .axis(Axis::nodes([1]))
+                .try_build()
+                .unwrap(),
+        )
+        .unwrap();
+    let merged = Study::new("part").run(&backend, &tag("once")).unwrap();
+    assert!(StudyReport::concat("bad", vec![merged, other]).is_err());
+}
+
+#[test]
+fn until_ci_policy_is_deterministic_per_cell() {
+    let backend = SimBackend::new();
+    let sweep = Sweep::over(base_scenario())
+        .axis(Axis::nodes([1, 2]))
+        .try_build()
+        .unwrap();
+    let run = || {
+        Study::new("adaptive")
+            .replication(ReplicationPolicy::until_ci(0.05, 12))
+            .run(&backend, &sweep)
+            .expect("adaptive study")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    for cell in &a.cells {
+        assert!(cell.report.replications() >= 2, "a CI needs two runs");
+        assert!(cell.report.replications() <= 12);
+    }
+}
+
+#[test]
+fn rendered_report_carries_axes_and_cells() {
+    let mut study = Study::new("render")
+        .run(&SimBackend::new(), &sweep_2x2())
+        .unwrap();
+    study.push_notes("Shape check: distributed cache reduces runtime at 2 nodes.");
+    let text = study.render();
+    assert!(text.contains("study render — backend sim, 4 cells"));
+    assert!(text.contains("nodes × distributed_cache"));
+    assert!(text.contains("Shape check"), "{text}");
+    // Root-crate re-exports exist (facade parity).
+    let _: &rocket::StudyReport = &study;
+}
