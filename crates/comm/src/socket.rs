@@ -28,13 +28,14 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rocket_stats::Retry;
 
 use crate::frame::{write_frame, FrameDecoder};
 use crate::transport::{CommStats, Incoming, NodeId, RecvError, Transport};
@@ -42,16 +43,13 @@ use crate::transport::{CommStats, Incoming, NodeId, RecvError, Transport};
 /// Handshake magic: `b"RKT1"` little-endian.
 const MAGIC: u32 = u32::from_le_bytes(*b"RKT1");
 
-/// Delay between connection attempts while a peer's listener comes up.
+/// Poll interval while waiting for higher-ranked peers to dial in.
 const CONNECT_RETRY: Duration = Duration::from_millis(20);
-
-/// Total time to keep retrying a connection before giving up.
-const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Cap on one handshake read and on the whole accept phase — without it a
 /// peer that never starts (or a stray connection that sends fewer than 12
 /// bytes) would wedge mesh establishment forever, while the dial side
-/// fails loudly after [`CONNECT_DEADLINE`].
+/// fails loudly once [`connect_policy`]'s attempts are exhausted.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn io_err(kind: io::ErrorKind, msg: String) -> io::Error {
@@ -93,20 +91,19 @@ fn recv_hello(stream: &mut TcpStream, cluster: usize) -> io::Result<usize> {
     Ok(rank)
 }
 
+/// Backoff for dialing a peer whose listener may not be up yet (separate
+/// OS processes start in arbitrary order): ~10 s of total budget, delays
+/// growing 20 ms → 500 ms with a little jitter so co-started processes
+/// don't hammer a slow listener in lockstep.
+fn connect_policy() -> Retry {
+    Retry::new(28, Duration::from_millis(20))
+        .factor(1.5)
+        .cap(Duration::from_millis(500))
+        .jitter(0.1)
+}
+
 fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
-    let deadline = std::time::Instant::now() + CONNECT_DEADLINE;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
-            Err(e) if std::time::Instant::now() < deadline => {
-                // The peer's listener may not be up yet (separate OS
-                // processes start in arbitrary order).
-                let _ = e;
-                std::thread::sleep(CONNECT_RETRY);
-            }
-            Err(e) => return Err(e),
-        }
-    }
+    connect_policy().run(|_| TcpStream::connect(addr))
 }
 
 /// [`Transport`] over per-peer TCP connections (loopback or LAN).
@@ -121,6 +118,9 @@ pub struct SocketTransport {
     stats: Arc<CommStats>,
     /// Peer reader threads still running (drives `Disconnected`).
     live_readers: Arc<AtomicUsize>,
+    /// Per-peer connection state (`None` at our own index): cleared when
+    /// the peer's reader thread exits or a send to it fails.
+    peer_up: Vec<Option<Arc<AtomicBool>>>,
     readers: Vec<JoinHandle<()>>,
 }
 
@@ -151,26 +151,32 @@ impl SocketTransport {
         let (loopback, inbox) = unbounded();
         let live_readers = Arc::new(AtomicUsize::new(0));
         let mut writers = Vec::with_capacity(p);
+        let mut peer_up = Vec::with_capacity(p);
         let mut readers = Vec::new();
         for (peer, conn) in conns.into_iter().enumerate() {
             let Some(stream) = conn else {
                 writers.push(None);
+                peer_up.push(None);
                 continue;
             };
             stream.set_nodelay(true)?;
             let read_half = stream.try_clone()?;
             live_readers.fetch_add(1, Ordering::AcqRel);
             let alive = Arc::clone(&live_readers);
+            let up = Arc::new(AtomicBool::new(true));
+            let up_flag = Arc::clone(&up);
             let tx = loopback.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("rocket-sock-{rank}-from-{peer}"))
                 .spawn(move || {
                     read_loop(peer, read_half, tx);
+                    up_flag.store(false, Ordering::Release);
                     alive.fetch_sub(1, Ordering::AcqRel);
                 })
                 .map_err(|e| io_err(io::ErrorKind::Other, format!("spawn reader: {e}")))?;
             readers.push(handle);
             writers.push(Some(Mutex::new(stream)));
+            peer_up.push(Some(up));
         }
         Ok(SocketTransport {
             node: rank,
@@ -180,6 +186,7 @@ impl SocketTransport {
             inbox,
             stats,
             live_readers,
+            peer_up,
             readers,
         })
     }
@@ -247,7 +254,13 @@ impl Transport for SocketTransport {
                 .as_ref()
                 .expect("writer exists for every peer rank");
             let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
-            write_frame(&mut *stream, &payload).map_err(|_| RecvError::Disconnected)?;
+            write_frame(&mut *stream, &payload).map_err(|_| {
+                // A failed write is positive evidence the peer is gone.
+                if let Some(up) = &self.peer_up[to] {
+                    up.store(false, Ordering::Release);
+                }
+                RecvError::Disconnected
+            })?;
         }
         self.stats.record_send(len);
         Ok(())
@@ -275,6 +288,15 @@ impl Transport for SocketTransport {
 
     fn try_recv(&self) -> Option<Incoming> {
         self.inbox.try_recv().ok().map(|m| self.deliver(m))
+    }
+
+    fn peer_alive(&self, peer: NodeId) -> bool {
+        match self.peer_up.get(peer) {
+            Some(Some(up)) => up.load(Ordering::Acquire),
+            // Our own slot (or an out-of-range rank, which has no
+            // connection to lose).
+            _ => true,
+        }
     }
 
     fn stats(&self) -> Arc<CommStats> {
@@ -529,5 +551,107 @@ mod tests {
     fn join_rejects_bad_rank() {
         let addrs = vec!["127.0.0.1:9".parse().unwrap()];
         assert!(SocketTransport::join(1, &addrs).is_err());
+    }
+
+    /// A raw connection pair plus a running `read_loop` on the accept side,
+    /// for driving the reader with hand-crafted byte sequences. Also
+    /// returns a write handle to the reader's socket (for provoking RST).
+    fn raw_reader() -> (TcpStream, TcpStream, JoinHandle<()>, Receiver<Incoming>) {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let server_w = server.try_clone().unwrap();
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || read_loop(0, server, tx));
+        (client, server_w, handle, rx)
+    }
+
+    #[test]
+    fn torn_final_frame_exits_reader_cleanly() {
+        let (mut client, _w, reader, rx) = raw_reader();
+        // One whole frame, then a frame whose peer dies 3 bytes in.
+        client
+            .write_all(&crate::frame::encode_frame(b"whole"))
+            .unwrap();
+        client.write_all(&20u32.to_le_bytes()).unwrap();
+        client.write_all(&[1, 2, 3]).unwrap();
+        drop(client);
+        reader
+            .join()
+            .expect("reader must not panic on a torn frame");
+        let delivered: Vec<Incoming> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+        assert_eq!(delivered.len(), 1, "only the whole frame is delivered");
+        assert_eq!(delivered[0].payload.as_ref(), b"whole");
+    }
+
+    #[test]
+    fn connection_reset_exits_reader_cleanly() {
+        let (client, mut server_w, reader, rx) = raw_reader();
+        // Closing a socket that still has unread inbound data makes the
+        // kernel send RST instead of FIN, so the reader sees a hard
+        // connection error rather than clean EOF.
+        server_w.write_all(b"you never read this").unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let it land
+        drop(client);
+        reader.join().expect("reader must not panic on RST");
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_exits_reader_cleanly() {
+        let (mut client, _w, reader, rx) = raw_reader();
+        // Length prefix far beyond MAX_FRAME: unrecoverable for a byte
+        // stream, so the reader drops the connection.
+        client.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        client.write_all(&[0u8; 32]).unwrap();
+        reader.join().expect("reader must not panic on corruption");
+        assert!(rx.try_recv().is_err());
+        drop(client);
+    }
+
+    #[test]
+    fn peer_loss_flips_peer_alive() {
+        let mut eps = cluster(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!((0..3).all(|p| a.peer_alive(p)), "all up at start");
+        drop(b);
+        // Rank 1's sockets shut down; a's reader observes EOF shortly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.peer_alive(1) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!a.peer_alive(1), "dead peer must be reported down");
+        assert!(a.peer_alive(0), "own slot stays up");
+        assert!(a.peer_alive(2), "surviving peer stays up");
+        // The surviving pair still works.
+        a.send(2, Bytes::from_static(b"still-on")).unwrap();
+        let msg = c.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg.payload.as_ref(), b"still-on");
+    }
+
+    #[test]
+    fn send_failure_marks_peer_down() {
+        let mut eps = cluster(2);
+        let a = eps.remove(0);
+        drop(eps); // rank 1 gone
+                   // TCP may buffer a few sends before the failure surfaces; keep
+                   // pushing until the write errors.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match a.send(1, Bytes::from(vec![0u8; 4096])) {
+                Err(e) => {
+                    assert_eq!(e, RecvError::Disconnected);
+                    break;
+                }
+                Ok(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                Ok(_) => panic!("sends to a dead peer never failed"),
+            }
+        }
+        assert!(!a.peer_alive(1));
     }
 }

@@ -162,6 +162,17 @@ pub trait Transport: Send + Sync {
     /// Receives without blocking (`None` when the inbox is empty).
     fn try_recv(&self) -> Option<Incoming>;
 
+    /// Whether the connection to `peer` is still believed up.
+    ///
+    /// A best-effort, non-blocking liveness hint: `false` means the
+    /// transport has *positive* evidence the peer is gone (its connection
+    /// dropped); `true` means no such evidence — not a guarantee. Mediums
+    /// without per-peer connection state keep the default (always `true`)
+    /// and rely on heartbeat deadlines above the transport.
+    fn peer_alive(&self, _peer: NodeId) -> bool {
+        true
+    }
+
     /// This endpoint's traffic counters.
     fn stats(&self) -> Arc<CommStats>;
 }

@@ -177,6 +177,7 @@ impl<O> AppReport<O> {
             directory: self.directory(),
             pairs_per_node,
             completions: None,
+            degraded: false,
         }
     }
 }

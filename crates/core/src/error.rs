@@ -56,6 +56,14 @@ pub enum RocketError {
     App(AppError),
     /// The runtime configuration is invalid.
     Config(String),
+    /// A cluster worker process died (or went silent past its heartbeat
+    /// deadline) and its work could not be completed by survivors.
+    WorkerLost {
+        /// Rank of the lost worker.
+        worker: usize,
+        /// How the loss was detected (heartbeat timeout, connection reset…).
+        cause: String,
+    },
 }
 
 impl fmt::Display for RocketError {
@@ -68,6 +76,9 @@ impl fmt::Display for RocketError {
             RocketError::Device(e) => write!(f, "device error: {e}"),
             RocketError::App(e) => write!(f, "{e}"),
             RocketError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            RocketError::WorkerLost { worker, cause } => {
+                write!(f, "cluster worker {worker} lost: {cause}")
+            }
         }
     }
 }
@@ -115,5 +126,11 @@ mod tests {
         assert!(matches!(s, RocketError::Storage(_)));
         let c = RocketError::Config("no devices".into());
         assert!(c.to_string().contains("no devices"));
+        let w = RocketError::WorkerLost {
+            worker: 2,
+            cause: "heartbeat deadline (200ms) passed".into(),
+        };
+        assert!(w.to_string().contains("worker 2"));
+        assert!(w.to_string().contains("heartbeat"));
     }
 }

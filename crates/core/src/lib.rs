@@ -60,6 +60,7 @@
 pub mod app;
 pub mod backend;
 pub mod cluster;
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;

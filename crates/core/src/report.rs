@@ -134,6 +134,11 @@ pub struct RunReport {
     pub pairs_per_node: Vec<u64>,
     /// Per-GPU completion timestamps (only when the scenario records them).
     pub completions: Option<ThroughputSeries>,
+    /// True when fault handling touched this run — its work was re-dealt
+    /// after a worker loss, or it finished below the cluster's quorum — so
+    /// totals are correct but timings may not be representative. In-process
+    /// backends always report `false`.
+    pub degraded: bool,
 }
 
 impl RunReport {
@@ -220,6 +225,7 @@ impl RunReport {
         ));
         out.push_str(",\"pairs_per_node\":");
         push_u64_array(&mut out, self.pairs_per_node.iter().copied());
+        out.push_str(&format!(",\"degraded\":{}", self.degraded));
         out.push('}');
         out
     }
@@ -262,6 +268,7 @@ mod tests {
             directory: DirectoryStats::default(),
             pairs_per_node: vec![45],
             completions: None,
+            degraded: false,
         }
     }
 
@@ -307,6 +314,7 @@ mod tests {
             "\"pairs_per_node\":[20,25]",
             "\"net_bytes\":0",
             "\"hits_at_hop\":[]",
+            "\"degraded\":false",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -28,6 +28,7 @@
 //! #             busy: Default::default(), device_cache: Default::default(),
 //! #             host_cache: Default::default(), directory: Default::default(),
 //! #             pairs_per_node: vec![s.workload.pairs()], completions: None,
+//! #             degraded: false,
 //! #         })
 //! #     }
 //! # }
@@ -219,6 +220,12 @@ impl CellReport {
         &self.report.runs[0]
     }
 
+    /// True when any replication of this cell ran degraded (its work was
+    /// re-dealt after a worker loss, or it finished below quorum).
+    pub fn degraded(&self) -> bool {
+        self.report.runs.iter().any(|r| r.degraded)
+    }
+
     /// Coordinates as a compact `name=value, …` string.
     pub fn coords_label(&self) -> String {
         self.coords
@@ -310,6 +317,16 @@ impl StudyReport {
         Ok(out)
     }
 
+    /// Indices of cells that ran degraded (fault handling touched them).
+    /// Empty for a healthy study.
+    pub fn degraded_cells(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .filter(|c| c.degraded())
+            .map(|c| c.cell)
+            .collect()
+    }
+
     /// Serializes the whole study as one JSON object (cells inline; notes
     /// and scenarios are presentation/config, not results, and are
     /// omitted).
@@ -380,7 +397,7 @@ impl StudyReport {
         }
         out.push_str(
             ",replications,pairs,elapsed_s_mean,elapsed_s_ci95,r_factor_mean,\
-             r_factor_ci95,throughput_mean,throughput_ci95,loads_mean\n",
+             r_factor_ci95,throughput_mean,throughput_ci95,loads_mean,degraded\n",
         );
         for cell in &self.cells {
             out.push_str(&esc(&self.experiment));
@@ -392,7 +409,7 @@ impl StudyReport {
             }
             let r = &cell.report;
             out.push_str(&format!(
-                ",{},{},{},{},{},{},{},{},{}\n",
+                ",{},{},{},{},{},{},{},{},{},{}\n",
                 r.replications(),
                 cell.run().pairs,
                 json_f64(r.elapsed.mean()),
@@ -402,6 +419,7 @@ impl StudyReport {
                 json_f64(r.throughput.mean()),
                 json_f64(r.throughput.ci95_half_width()),
                 json_f64(r.loads.mean()),
+                cell.degraded(),
             ));
         }
         out
@@ -536,6 +554,7 @@ mod tests {
                 directory: Default::default(),
                 pairs_per_node: vec![s.workload.pairs()],
                 completions: None,
+                degraded: false,
             })
         }
     }
@@ -641,6 +660,21 @@ mod tests {
             assert!(line.contains("\"coords\":{\"nodes\":"), "{line}");
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
+    }
+
+    #[test]
+    fn degraded_cells_surface_in_csv_and_lookup() {
+        let mut study = Study::new("grid").run(&ToyBackend, &sweep_2x2()).unwrap();
+        assert!(study.degraded_cells().is_empty());
+        study.cells[2].report.runs[0].degraded = true;
+        assert_eq!(study.degraded_cells(), vec![2]);
+        assert!(study.cells[2].degraded());
+        let csv = study.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().ends_with(",degraded"));
+        let rows: Vec<&str> = lines.collect();
+        assert!(rows[0].ends_with(",false"), "{}", rows[0]);
+        assert!(rows[2].ends_with(",true"), "{}", rows[2]);
     }
 
     #[test]

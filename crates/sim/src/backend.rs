@@ -83,6 +83,7 @@ fn unified(r: SimResult) -> RunReport {
         directory: r.directory,
         pairs_per_node: r.pairs_per_node,
         completions: r.completions,
+        degraded: false,
     }
 }
 

@@ -16,16 +16,20 @@
 //!   `rand_distr` is not available offline,
 //! * [`online`] — streaming mean/variance/min/max (Welford),
 //! * [`histogram`] — fixed-bin histograms and percentile summaries used by
-//!   the figure reproduction harness.
+//!   the figure reproduction harness,
+//! * [`retry`] — a bounded exponential-backoff policy with seeded jitter,
+//!   shared by the storage and transport fault-tolerance paths.
 
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod histogram;
 pub mod online;
+pub mod retry;
 pub mod rng;
 
 pub use dist::{Dist, Distribution};
 pub use histogram::{Histogram, Percentiles};
 pub use online::OnlineStats;
+pub use retry::Retry;
 pub use rng::{splitmix64, SeedSequence, Xoshiro256};

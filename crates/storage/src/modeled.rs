@@ -147,6 +147,10 @@ impl<S: ObjectStore> ObjectStore for ModeledStore<S> {
             }
         }
     }
+
+    fn write(&self, key: &str, data: Bytes) -> Result<()> {
+        self.inner.write(key, data)
+    }
 }
 
 #[cfg(test)]

@@ -44,10 +44,12 @@ impl From<io::Error> for StorageError {
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
-/// A read-only object store keyed by string paths.
+/// An object store keyed by string paths.
 ///
 /// Implementations must be thread-safe: Rocket's I/O thread and tests hit
-/// stores concurrently.
+/// stores concurrently. Reads are the primary operation; stores that can
+/// persist results additionally override [`write`](ObjectStore::write)
+/// (the default rejects writes as `Unavailable`).
 pub trait ObjectStore: Send + Sync {
     /// Lists all object keys (sorted).
     fn list(&self) -> Vec<String>;
@@ -57,6 +59,14 @@ pub trait ObjectStore: Send + Sync {
 
     /// Reads an entire object.
     fn read(&self, key: &str) -> Result<Bytes>;
+
+    /// Writes (or replaces) an entire object. Read-only stores keep the
+    /// default, which fails with [`StorageError::Unavailable`].
+    fn write(&self, key: &str, _data: Bytes) -> Result<()> {
+        Err(StorageError::Unavailable(format!(
+            "read-only store rejects write of {key}"
+        )))
+    }
 
     /// Sum of all object sizes ("size of raw data on disk", Table 1).
     fn total_bytes(&self) -> u64 {
@@ -130,6 +140,11 @@ impl ObjectStore for MemStore {
             .cloned()
             .ok_or_else(|| StorageError::NotFound(key.to_string()))
     }
+
+    fn write(&self, key: &str, data: Bytes) -> Result<()> {
+        self.put(key, data);
+        Ok(())
+    }
 }
 
 /// Filesystem-backed store rooted at a directory. Keys are paths relative to
@@ -199,6 +214,14 @@ impl ObjectStore for DirStore {
         let path = self.resolve(key)?;
         Ok(Bytes::from(std::fs::read(path)?))
     }
+
+    fn write(&self, key: &str, data: Bytes) -> Result<()> {
+        let path = self.resolve(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(std::fs::write(path, &data)?)
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +278,47 @@ mod tests {
         ));
         assert!(matches!(
             s.read("/etc/passwd"),
+            Err(StorageError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn memstore_write_roundtrip() {
+        let s = MemStore::new();
+        s.write("w.bin", Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.read("w.bin").unwrap().as_ref(), b"abc");
+    }
+
+    #[test]
+    fn dirstore_write_creates_parents() {
+        let dir = std::env::temp_dir().join(format!("rocket-dirstore-w-{}", std::process::id()));
+        let s = DirStore::new(&dir);
+        s.write("deep/nested/out.bin", Bytes::from_static(b"xyz"))
+            .unwrap();
+        assert_eq!(s.read("deep/nested/out.bin").unwrap().as_ref(), b"xyz");
+        assert!(matches!(
+            s.write("../escape.bin", Bytes::new()),
+            Err(StorageError::Unavailable(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_write_rejects() {
+        struct ReadOnly;
+        impl ObjectStore for ReadOnly {
+            fn list(&self) -> Vec<String> {
+                Vec::new()
+            }
+            fn size(&self, key: &str) -> Result<u64> {
+                Err(StorageError::NotFound(key.into()))
+            }
+            fn read(&self, key: &str) -> Result<Bytes> {
+                Err(StorageError::NotFound(key.into()))
+            }
+        }
+        assert!(matches!(
+            ReadOnly.write("k", Bytes::new()),
             Err(StorageError::Unavailable(_))
         ));
     }

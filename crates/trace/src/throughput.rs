@@ -33,6 +33,12 @@ impl ThroughputSeries {
         self.events.get(&source).map_or(0, Vec::len)
     }
 
+    /// Raw completion timestamps for `source`, in recording order (what a
+    /// serializer needs to reconstruct the series exactly).
+    pub fn timestamps(&self, source: u32) -> &[u64] {
+        self.events.get(&source).map_or(&[], Vec::as_slice)
+    }
+
     /// Rolling-average throughput (events/second) for `source`, sampled every
     /// `step_ns`, averaged over the trailing `window_ns`.
     ///
@@ -125,6 +131,8 @@ mod tests {
         assert_eq!(s.sources(), vec![1, 4]);
         assert_eq!(s.total(1), 2);
         assert_eq!(s.total(4), 1);
+        assert_eq!(s.timestamps(1), &[10, 20]);
+        assert_eq!(s.timestamps(9), &[] as &[u64]);
         assert_eq!(s.end_ns(), 30);
     }
 

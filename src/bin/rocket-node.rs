@@ -1,43 +1,51 @@
 //! `rocket-node` — one OS process of a socket-connected Rocket cluster.
 //!
-//! Skeleton of the multi-process deployment path: every process joins the
-//! same mesh the in-process socket cluster uses (`SocketTransport::join`
-//! behind the `Transport` trait), so turning the threaded runtime into a
-//! true multi-process backend is wiring, not a rewrite. Today the binary
-//! establishes the full mesh — listener, rank handshakes, per-peer
-//! ordered connections — then runs an all-to-all ping round as a health
-//! check and reports the traffic counters.
+//! Every process joins the same mesh the in-process socket cluster uses
+//! (`SocketTransport::join` behind the `Transport` trait). Two modes:
+//!
+//! * **Health check** (default) — establish the full mesh — listener,
+//!   rank handshakes, per-peer ordered connections — run an all-to-all
+//!   ping round, report the traffic counters, exit.
+//! * **Worker** (`--serve`) — enter the cluster worker loop
+//!   (`rocket::cluster::serve`) and execute scenario jobs shipped by the
+//!   driver at rank 0 (any program owning a `ClusterBackend`, e.g. a
+//!   study runner calling `ClusterBackend::join`) until shut down.
 //!
 //! ```text
-//! rocket-node --rank R --peers HOST:PORT,HOST:PORT,...   # addrs[R] is ours
+//! rocket-node --rank R --peers HOST:PORT,HOST:PORT,... [--serve]
 //! ```
 //!
-//! Example, three processes on one machine:
+//! Example, a driver plus two worker processes on one machine:
 //!
 //! ```text
-//! rocket-node --rank 0 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
-//! rocket-node --rank 1 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 &
-//! rocket-node --rank 2 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702
+//! rocket-node --rank 1 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 --serve &
+//! rocket-node --rank 2 --peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 --serve &
+//! my-study-driver   # rank 0: ClusterBackend::join(addrs), Study::run(...)
 //! ```
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use rocket::cluster::{serve, DRIVER_RANK};
 use rocket::comm::{SocketTransport, Transport};
+use rocket::sim::SimBackend;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rocket-node --rank R --peers HOST:PORT,HOST:PORT,...");
-    eprintln!("(the address at index R of --peers is this process's listen address)");
+    eprintln!("usage: rocket-node --rank R --peers HOST:PORT,HOST:PORT,... [--serve]");
+    eprintln!("(the address at index R of --peers is this process's listen address;");
+    eprintln!(" --serve runs the cluster worker loop instead of the ping health check)");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut rank: Option<usize> = None;
     let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut serve_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--serve" => serve_mode = true,
             "--rank" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => rank = Some(v),
                 None => return usage(),
@@ -68,6 +76,10 @@ fn main() -> ExitCode {
         eprintln!("need at least two peer addresses and rank < peer count");
         return usage();
     }
+    if serve_mode && rank == DRIVER_RANK {
+        eprintln!("rank {DRIVER_RANK} is the driver; workers serve from ranks 1..");
+        return usage();
+    }
 
     eprintln!(
         "[rank {rank}] joining a {}-node mesh on {}",
@@ -82,6 +94,24 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("[rank {rank}] mesh up: {} peers connected", peers.len() - 1);
+
+    if serve_mode {
+        eprintln!("[rank {rank}] serving jobs on the sim backend");
+        let report = serve(&transport, &SimBackend::new());
+        eprintln!(
+            "[rank {rank}] served {} job(s), answered {} ping(s), {}",
+            report.jobs,
+            report.pings,
+            if report.clean_exit {
+                "shut down by the driver"
+            } else {
+                "driver connection lost"
+            }
+        );
+        // Either way the worker did its job; losing the driver is not a
+        // worker-side failure.
+        return ExitCode::SUCCESS;
+    }
 
     // Health check: one ping to every peer, one expected from each.
     for peer in 0..transport.cluster_size() {

@@ -24,6 +24,7 @@
 //! | [`cache`] | slot caches and the distributed cache directory |
 //! | [`steal`] | quadrant decomposition + work-stealing scheduler |
 //! | [`comm`] | cluster transports: local channels and TCP sockets |
+//! | [`cluster`] | multi-process driver/worker backend, fault tolerant |
 //! | [`gpu`] | virtual GPU device model |
 //! | [`storage`] | object storage substrate |
 //! | [`sim`] | discrete-event cluster simulator + performance model |
@@ -74,6 +75,7 @@ pub use rocket_core::{Axis, AxisValue, CellReport, ReplicationPolicy, Study, Stu
 
 pub use rocket_apps as apps;
 pub use rocket_cache as cache;
+pub use rocket_cluster as cluster;
 pub use rocket_comm as comm;
 pub use rocket_core as core;
 pub use rocket_gpu as gpu;
