@@ -31,7 +31,7 @@ pub mod stats;
 pub use directory::{
     Directory, DirectoryMsg, DirectoryStats, HopChain, NodeId, Resolution, MAX_HOPS,
 };
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lru::LruList;
 pub use slot::{ItemId, Lookup, SlotCache, SlotIdx};
 pub use stats::{CacheStats, ReuseStats};

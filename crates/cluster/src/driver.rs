@@ -32,11 +32,12 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use rocket_comm::wire::Wire;
 use rocket_comm::{Liveness, RecvError, SocketTransport, Transport};
 use rocket_core::{Backend, RocketError, RunReport, Scenario};
@@ -205,7 +206,7 @@ impl ClusterBackend {
 
     /// Everything noteworthy the dispatcher has recorded so far.
     pub fn events(&self) -> Vec<ClusterEvent> {
-        self.shared.events.lock().unwrap().clone()
+        self.shared.events.lock().clone()
     }
 
     /// Ranks of workers declared lost so far.
@@ -328,7 +329,7 @@ impl Dispatcher {
         shutdown: Arc<AtomicBool>,
         jobs_rx: Receiver<JobRequest>,
     ) -> Self {
-        let workers = transport.cluster_size() - 1;
+        let workers = transport.cluster_size().saturating_sub(1);
         let quorum = opts.quorum.unwrap_or(workers / 2 + 1).max(1);
         let liveness = Liveness::new(
             1..=workers,
@@ -383,7 +384,7 @@ impl Dispatcher {
     }
 
     fn event(&self, e: ClusterEvent) {
-        self.shared.events.lock().unwrap().push(e);
+        self.shared.events.lock().push(e);
     }
 
     fn ingest_requests(&mut self) {
@@ -592,11 +593,12 @@ impl Dispatcher {
     }
 
     fn dispatch(&mut self, now: Instant) {
-        while !self.pending.is_empty() && !self.ready.is_empty() {
-            // Lowest rank first: deterministic placement when no faults
-            // occur, which keeps no-fault runs reproducible.
-            let worker = *self.ready.iter().min().unwrap();
-            let id = self.pending.pop_front().unwrap();
+        // Lowest rank first: deterministic placement when no faults
+        // occur, which keeps no-fault runs reproducible.
+        while let Some(&worker) = self.ready.iter().min() {
+            let Some(id) = self.pending.pop_front() else {
+                break;
+            };
             let Some(job) = self.inflight.get_mut(&id) else {
                 continue;
             };

@@ -32,8 +32,15 @@ pub fn encode_frame(payload: &[u8]) -> Bytes {
 }
 
 /// Writes one frame to a byte sink (what the socket transport sends).
+/// An oversized payload is an I/O error, not a panic: the send path runs
+/// on fault-critical threads that must degrade, never abort.
 pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
-    assert!(payload.len() <= MAX_FRAME as usize, "frame too large");
+    if payload.len() > MAX_FRAME as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
 }
@@ -73,11 +80,16 @@ impl FrameDecoder {
     /// needed, or [`WireError::BadLength`] on an implausible prefix (the
     /// connection should be dropped — the stream cannot resynchronize).
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
-        let avail = &self.buf[self.pos..];
+        let avail = self.buf.get(self.pos..).unwrap_or_default();
         if avail.len() < FRAME_HEADER {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..FRAME_HEADER].try_into().expect("4 bytes"));
+        let Some(head) = avail.get(..FRAME_HEADER) else {
+            return Ok(None);
+        };
+        let mut header = [0u8; FRAME_HEADER];
+        header.copy_from_slice(head);
+        let len = u32::from_le_bytes(header);
         if len > MAX_FRAME {
             return Err(WireError::BadLength(len as u64));
         }
@@ -85,7 +97,10 @@ impl FrameDecoder {
         if avail.len() < total {
             return Ok(None);
         }
-        let payload = Bytes::from(avail[FRAME_HEADER..total].to_vec());
+        let Some(body) = avail.get(FRAME_HEADER..total) else {
+            return Ok(None);
+        };
+        let payload = Bytes::from(body.to_vec());
         self.pos += total;
         Ok(Some(payload))
     }

@@ -57,19 +57,23 @@ fn io_err(kind: io::ErrorKind, msg: String) -> io::Error {
 }
 
 fn send_hello(stream: &mut TcpStream, rank: usize, cluster: usize) -> io::Result<()> {
-    let mut hello = [0u8; 12];
-    hello[..4].copy_from_slice(&MAGIC.to_le_bytes());
-    hello[4..8].copy_from_slice(&(rank as u32).to_le_bytes());
-    hello[8..].copy_from_slice(&(cluster as u32).to_le_bytes());
+    let mut hello = Vec::with_capacity(12);
+    hello.extend_from_slice(&MAGIC.to_le_bytes());
+    hello.extend_from_slice(&(rank as u32).to_le_bytes());
+    hello.extend_from_slice(&(cluster as u32).to_le_bytes());
     stream.write_all(&hello)
 }
 
+fn read_u32(stream: &mut TcpStream) -> io::Result<u32> {
+    let mut word = [0u8; 4];
+    stream.read_exact(&mut word)?;
+    Ok(u32::from_le_bytes(word))
+}
+
 fn recv_hello(stream: &mut TcpStream, cluster: usize) -> io::Result<usize> {
-    let mut hello = [0u8; 12];
-    stream.read_exact(&mut hello)?;
-    let magic = u32::from_le_bytes(hello[..4].try_into().expect("4 bytes"));
-    let rank = u32::from_le_bytes(hello[4..8].try_into().expect("4 bytes")) as usize;
-    let size = u32::from_le_bytes(hello[8..].try_into().expect("4 bytes")) as usize;
+    let magic = read_u32(stream)?;
+    let rank = read_u32(stream)? as usize;
+    let size = read_u32(stream)? as usize;
     if magic != MAGIC {
         return Err(io_err(
             io::ErrorKind::InvalidData,
@@ -133,13 +137,13 @@ impl SocketTransport {
     /// with the same address list and its own rank (the `rocket-node`
     /// binary does exactly that).
     pub fn join(rank: usize, addrs: &[SocketAddr]) -> io::Result<SocketTransport> {
-        if rank >= addrs.len() {
+        let Some(&local) = addrs.get(rank) else {
             return Err(io_err(
                 io::ErrorKind::InvalidInput,
                 format!("rank {rank} out of range for {} addresses", addrs.len()),
             ));
-        }
-        let listener = TcpListener::bind(addrs[rank])?;
+        };
+        let listener = TcpListener::bind(local)?;
         establish_mesh(rank, listener, addrs)
     }
 
@@ -208,7 +212,10 @@ fn read_loop(peer: NodeId, mut stream: TcpStream, tx: Sender<Incoming>) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
-        decoder.extend(&chunk[..n]);
+        let Some(data) = chunk.get(..n) else {
+            return; // read() reported more bytes than the buffer holds
+        };
+        decoder.extend(data);
         loop {
             match decoder.next_frame() {
                 Ok(Some(payload)) => {
@@ -250,13 +257,15 @@ impl Transport for SocketTransport {
                 })
                 .map_err(|_| RecvError::Disconnected)?;
         } else {
-            let writer = self.writers[to]
-                .as_ref()
-                .expect("writer exists for every peer rank");
+            // An out-of-range or self rank has no writer: report the peer
+            // unreachable instead of panicking in the send path.
+            let Some(Some(writer)) = self.writers.get(to) else {
+                return Err(RecvError::Disconnected);
+            };
             let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
             write_frame(&mut *stream, &payload).map_err(|_| {
                 // A failed write is positive evidence the peer is gone.
-                if let Some(up) = &self.peer_up[to] {
+                if let Some(Some(up)) = self.peer_up.get(to) {
                     up.store(false, Ordering::Release);
                 }
                 RecvError::Disconnected
@@ -334,7 +343,12 @@ impl SocketCluster {
     /// `127.0.0.1`. All listeners are bound before any connection is
     /// attempted, so establishment cannot race the address list.
     pub fn connect(p: usize) -> io::Result<Vec<SocketTransport>> {
-        assert!(p > 0);
+        if p == 0 {
+            return Err(io_err(
+                io::ErrorKind::InvalidInput,
+                "cluster must have at least one node".into(),
+            ));
+        }
         let mut listeners = Vec::with_capacity(p);
         let mut addrs = Vec::with_capacity(p);
         for _ in 0..p {
@@ -351,7 +365,14 @@ impl SocketCluster {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("mesh thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(io_err(
+                            io::ErrorKind::Other,
+                            "mesh setup thread panicked".into(),
+                        ))
+                    })
+                })
                 .collect()
         })
     }
@@ -366,8 +387,8 @@ fn establish_mesh(
 ) -> io::Result<SocketTransport> {
     let p = addrs.len();
     let mut conns: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
-    for peer in 0..rank {
-        let mut stream = connect_with_retry(addrs[peer])?;
+    for (peer, &addr) in addrs.iter().enumerate().take(rank) {
+        let mut stream = connect_with_retry(addr)?;
         stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
         send_hello(&mut stream, rank, p)?;
         let said = recv_hello(&mut stream, p)?;
@@ -378,7 +399,9 @@ fn establish_mesh(
             ));
         }
         stream.set_read_timeout(None)?;
-        conns[peer] = Some(stream);
+        if let Some(slot) = conns.get_mut(peer) {
+            *slot = Some(stream);
+        }
     }
     // Accept phase, bounded by a deadline. A connection that fails the
     // handshake (a stray client, a half-open dial) is dropped without
@@ -395,7 +418,7 @@ fn establish_mesh(
                 stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
                 match recv_hello(&mut stream, p) {
                     Ok(peer) => {
-                        if peer <= rank || conns[peer].is_some() {
+                        if peer <= rank || conns.get(peer).is_some_and(|c| c.is_some()) {
                             return Err(io_err(
                                 io::ErrorKind::InvalidData,
                                 format!("unexpected connection from rank {peer}"),
@@ -403,8 +426,12 @@ fn establish_mesh(
                         }
                         send_hello(&mut stream, rank, p)?;
                         stream.set_read_timeout(None)?;
-                        conns[peer] = Some(stream);
-                        accepted += 1;
+                        // recv_hello bounds `peer` below `p`, so the slot
+                        // exists; a missing slot just drops the stray.
+                        if let Some(slot) = conns.get_mut(peer) {
+                            *slot = Some(stream);
+                            accepted += 1;
+                        }
                     }
                     Err(_) => continue, // stray connection: drop, keep waiting
                 }

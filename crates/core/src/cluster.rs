@@ -2,7 +2,7 @@
 //! collection into one `run` call.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -13,6 +13,7 @@ use rocket_storage::ObjectStore;
 use rocket_trace::Timeline;
 
 use crate::app::Application;
+use crate::clock;
 use crate::config::RocketConfig;
 use crate::engine::node::{spawn_node, NodeReport};
 use crate::error::RocketError;
@@ -236,7 +237,7 @@ impl Rocket {
         let nodes = configs.len();
         let n = app.item_count();
         let outputs = Arc::new(Mutex::new(Vec::new()));
-        let start = Instant::now();
+        let start = clock::stopwatch();
 
         let mut endpoints: Vec<Option<Box<dyn Transport>>> = if nodes > 1 {
             transport
@@ -294,7 +295,7 @@ impl Rocket {
             if handles.iter().all(|h| h.counters.is_drained()) {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            clock::pace(Duration::from_millis(1));
         }
 
         let node_reports: Vec<NodeReport> = handles.into_iter().map(|h| h.finish()).collect();

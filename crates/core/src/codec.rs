@@ -14,11 +14,10 @@
 //! novel ones are leaked exactly once — a worker sees a handful of
 //! distinct names over its whole lifetime, so the leak is bounded.
 
-use std::collections::HashSet;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
-use rocket_cache::{CacheStats, DirectoryStats};
+use rocket_cache::{CacheStats, DirectoryStats, FxHashSet};
 use rocket_comm::wire::{Wire, WireError, WireReader, WireWriter};
 use rocket_comm::TransportKind;
 use rocket_gpu::DeviceProfile;
@@ -32,11 +31,11 @@ use crate::workload::WorkloadProfile;
 /// Interns a decoded string into a `&'static str`, leaking each distinct
 /// string at most once per process.
 fn intern(s: String) -> &'static str {
-    static CACHE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<FxHashSet<&'static str>>> = OnceLock::new();
     let mut cache = CACHE
-        .get_or_init(|| Mutex::new(HashSet::new()))
+        .get_or_init(|| Mutex::new(FxHashSet::default()))
         .lock()
-        .unwrap();
+        .unwrap_or_else(|e| e.into_inner());
     if let Some(&known) = cache.get(s.as_str()) {
         return known;
     }

@@ -28,7 +28,7 @@
 //! (staging and result buffers) are drained by queues that make progress
 //! whenever a pipeline stage completes.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,8 +39,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use rocket_cache::{
-    CacheStats, Directory, DirectoryMsg, DirectoryStats, ItemId, Lookup, Resolution, SlotCache,
-    SlotIdx,
+    CacheStats, Directory, DirectoryMsg, DirectoryStats, FxHashMap, FxHashSet, ItemId, Lookup,
+    Resolution, SlotCache, SlotIdx,
 };
 use rocket_comm::{CommSnapshot, RecvError, Transport, Wire};
 use rocket_gpu::{BufferId, VirtualDevice};
@@ -328,15 +328,17 @@ struct Conductor<A: Application> {
     result_pool: Vec<Vec<BufferId>>,
     result_queue: Vec<VecDeque<JobId>>,
 
-    jobs: HashMap<JobId, Job>,
+    // Fx-hashed tables: deterministic hasher, so any incidental iteration
+    // order is a pure function of the insertion sequence (lint RL-D001).
+    jobs: FxHashMap<JobId, Job>,
     next_job: JobId,
     pending_conts: VecDeque<Cont>,
-    host_fills: HashMap<ItemId, HostFill>,
-    dev_fills: HashMap<(usize, ItemId), SlotIdx>,
-    fill_waiters: HashMap<(usize, ItemId), Vec<Cont>>,
-    h2d_leases: HashMap<(usize, ItemId), SlotIdx>,
-    dead_items: HashSet<ItemId>,
-    item_failures: HashMap<ItemId, u32>,
+    host_fills: FxHashMap<ItemId, HostFill>,
+    dev_fills: FxHashMap<(usize, ItemId), SlotIdx>,
+    fill_waiters: FxHashMap<(usize, ItemId), Vec<Cont>>,
+    h2d_leases: FxHashMap<(usize, ItemId), SlotIdx>,
+    dead_items: FxHashSet<ItemId>,
+    item_failures: FxHashMap<ItemId, u32>,
 
     directory: Directory,
     loads: u64,
@@ -498,15 +500,15 @@ impl<A: Application> Conductor<A> {
             staging_queue,
             result_pool,
             result_queue,
-            jobs: HashMap::new(),
+            jobs: FxHashMap::default(),
             next_job: 0,
             pending_conts: VecDeque::new(),
-            host_fills: HashMap::new(),
-            dev_fills: HashMap::new(),
-            fill_waiters: HashMap::new(),
-            h2d_leases: HashMap::new(),
-            dead_items: HashSet::new(),
-            item_failures: HashMap::new(),
+            host_fills: FxHashMap::default(),
+            dev_fills: FxHashMap::default(),
+            fill_waiters: FxHashMap::default(),
+            h2d_leases: FxHashMap::default(),
+            dead_items: FxHashSet::default(),
+            item_failures: FxHashMap::default(),
             directory,
             loads: 0,
             remote_fetches: 0,

@@ -59,6 +59,7 @@
 
 pub mod app;
 pub mod backend;
+pub mod clock;
 pub mod cluster;
 pub mod codec;
 pub mod config;

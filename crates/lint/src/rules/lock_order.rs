@@ -1,0 +1,364 @@
+//! RL-L001: lock-acquisition cycles.
+//!
+//! Rocket holds several locks on its hot paths (cache slot tables, steal
+//! deques, the directory). A deadlock needs two threads acquiring the
+//! same pair of locks in opposite orders; this rule approximates that
+//! check statically:
+//!
+//! 1. For every non-test function in scope, record the ordered sequence
+//!    of lock acquisitions. An acquisition is a *zero-argument*
+//!    `.lock()` / `.read()` / `.write()` call — the zero-argument
+//!    requirement keeps `io::Read::read(&mut buf)` and friends out. The
+//!    lock's name is the receiver identifier (field or method) nearest
+//!    the call.
+//! 2. Propagate acquisitions through direct calls between in-scope
+//!    functions to a fixpoint, so `a.lock(); helper();` sees the locks
+//!    `helper` takes.
+//! 3. Build the "held while acquiring" digraph over lock names and
+//!    report every cycle.
+//!
+//! This is name-based and flow-insensitive: two fields spelled the same
+//! in different structs alias, and an early `drop(guard)` is invisible.
+//! Rocket's lock population is small enough that this approximation is
+//! useful, and `lint:allow(lock-order)` documents the deliberate
+//! exceptions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::emit;
+use crate::source::SourceFile;
+
+const RULE: &str = "lock-order";
+
+/// One lock acquisition (or call site) inside a function body.
+#[derive(Debug, Clone)]
+enum Step {
+    Acquire { lock: String, line: u32 },
+    Call { callee: String, line: u32 },
+}
+
+/// Walks back from the `.` of `.lock()` to the receiver identifier,
+/// skipping one balanced `(...)`/`[...]` group (so `self.slots[i].lock()`
+/// and `self.table().lock()` both resolve sensibly).
+fn receiver_name(file: &SourceFile, dot: usize) -> Option<String> {
+    let toks = &file.lexed.toks;
+    let mut i = dot.checked_sub(1)?;
+    loop {
+        let t = toks.get(i)?;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                // Skip the balanced group backwards.
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 0isize;
+                loop {
+                    let u = toks.get(i)?;
+                    if u.kind == TokKind::Punct {
+                        if u.text == close {
+                            depth += 1;
+                        } else if u.text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    i = i.checked_sub(1)?;
+                }
+                i = i.checked_sub(1)?;
+            }
+            (TokKind::Ident, "self") => return None, // bare `self.lock()`: keep looking? no — name it "self"
+            (TokKind::Ident, name) => return Some(name.to_string()),
+            _ => return None,
+        }
+    }
+}
+
+/// Extracts the acquisition/call sequence of one function body.
+fn body_steps(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    fn_names: &BTreeSet<String>,
+) -> Vec<Step> {
+    let toks = &file.lexed.toks;
+    let mut steps = Vec::new();
+    let mut i = start;
+    while i <= end && i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let is_acquire = match t.text.as_str() {
+                // `.lock(...)` with any arguments still blocks; only the
+                // read/write pair needs the zero-arg restriction to dodge
+                // io::Read/Write.
+                "lock" => {
+                    i > 0
+                        && toks[i - 1].text == "."
+                        && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                }
+                "read" | "write" => {
+                    i > 0
+                        && toks[i - 1].text == "."
+                        && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                        && toks.get(i + 2).is_some_and(|n| n.text == ")")
+                }
+                _ => false,
+            };
+            if is_acquire {
+                if let Some(lock) = receiver_name(file, i - 1) {
+                    steps.push(Step::Acquire { lock, line: t.line });
+                }
+                i += 1;
+                continue;
+            }
+            // A direct call to another in-scope function: `name(...)`
+            // not preceded by `.` (method calls on other objects are out
+            // of reach for this approximation).
+            if fn_names.contains(&t.text)
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                && (i == 0 || toks[i - 1].text != ".")
+                && (i == 0 || toks[i - 1].text != "fn")
+            {
+                steps.push(Step::Call {
+                    callee: t.text.clone(),
+                    line: t.line,
+                });
+            }
+        }
+        i += 1;
+    }
+    steps
+}
+
+/// A "held while acquiring" edge with one witness location.
+#[derive(Debug, Clone)]
+struct Edge {
+    file_idx: usize,
+    line: u32,
+}
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    // Function name → steps (merged across files; name collisions merge
+    // conservatively, which can only add edges).
+    let fn_names: BTreeSet<String> = files
+        .iter()
+        .flat_map(|f| f.fns().into_iter().map(|s| s.name))
+        .collect();
+    let mut bodies: BTreeMap<String, Vec<(usize, Vec<Step>)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for span in file.fns() {
+            let steps = body_steps(file, span.body_start, span.body_end, &fn_names);
+            bodies.entry(span.name).or_default().push((fi, steps));
+        }
+    }
+
+    // Effective lock set per function: locks it (transitively) acquires.
+    let mut effective: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for (name, variants) in &bodies {
+            let mut locks: BTreeSet<String> = effective.get(name).cloned().unwrap_or_default();
+            let before = locks.len();
+            for (_, steps) in variants {
+                for step in steps {
+                    match step {
+                        Step::Acquire { lock, .. } => {
+                            locks.insert(lock.clone());
+                        }
+                        Step::Call { callee, .. } => {
+                            if let Some(sub) = effective.get(callee) {
+                                locks.extend(sub.iter().cloned());
+                            }
+                        }
+                    }
+                }
+            }
+            if locks.len() != before || !effective.contains_key(name) {
+                changed = true;
+            }
+            effective.insert(name.clone(), locks);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: within each body, every acquisition is "held" across every
+    // later step; later direct acquisitions and callee lock sets become
+    // edge targets.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for variants in bodies.values() {
+        for (fi, steps) in variants {
+            for (i, held) in steps.iter().enumerate() {
+                let Step::Acquire {
+                    lock: held_lock, ..
+                } = held
+                else {
+                    continue;
+                };
+                for later in steps.iter().skip(i + 1) {
+                    match later {
+                        Step::Acquire { lock, line } => {
+                            if lock != held_lock {
+                                edges
+                                    .entry((held_lock.clone(), lock.clone()))
+                                    .or_insert(Edge {
+                                        file_idx: *fi,
+                                        line: *line,
+                                    });
+                            }
+                        }
+                        Step::Call { callee, line } => {
+                            for lock in effective.get(callee).into_iter().flatten() {
+                                if lock != held_lock {
+                                    edges.entry((held_lock.clone(), lock.clone())).or_insert(
+                                        Edge {
+                                            file_idx: *fi,
+                                            line: *line,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: for each node in sorted order, DFS for a path
+    // back to itself. Each cycle is reported once, keyed by its sorted
+    // node set.
+    let adj: BTreeMap<&String, Vec<&String>> = {
+        let mut m: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+        for (a, b) in edges.keys().map(|(a, b)| (a, b)) {
+            m.entry(a).or_default().push(b);
+        }
+        m
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys() {
+        if let Some(path) = find_cycle(start, &adj) {
+            let mut key = path.clone();
+            key.sort();
+            key.dedup();
+            if !reported.insert(key) {
+                continue;
+            }
+            // Witness: the edge that closes the cycle back to `start`.
+            let witness = path
+                .windows(2)
+                .filter_map(|w| edges.get(&(w[0].clone(), w[1].clone())))
+                .next_back();
+            let Some(witness) = witness else { continue };
+            let Some(file) = files.get(witness.file_idx) else {
+                continue;
+            };
+            emit(
+                out,
+                file,
+                "RL-L001",
+                RULE,
+                witness.line,
+                format!(
+                    "lock-acquisition cycle: {} — two threads taking these locks in \
+                     different orders can deadlock",
+                    path.join(" -> ")
+                ),
+            );
+        }
+    }
+}
+
+/// DFS from `start`; returns a node path `start .. start` if a cycle
+/// through `start` exists.
+fn find_cycle<'a>(
+    start: &'a String,
+    adj: &BTreeMap<&'a String, Vec<&'a String>>,
+) -> Option<Vec<String>> {
+    let mut stack: Vec<(&String, usize)> = vec![(start, 0)];
+    let mut path: Vec<&String> = vec![start];
+    let mut visited: BTreeSet<&String> = BTreeSet::new();
+    while let Some((node, idx)) = stack.last_mut() {
+        let next = adj.get(*node).and_then(|ns| ns.get(*idx));
+        match next {
+            Some(&n) => {
+                *idx += 1;
+                if n == start {
+                    let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    cycle.push(start.to_string());
+                    return Some(cycle);
+                }
+                if visited.insert(n) {
+                    stack.push((n, 0));
+                    path.push(n);
+                }
+            }
+            None => {
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("x.rs".into(), src);
+        let mut out = Vec::new();
+        check(&[f], &mut out);
+        out
+    }
+
+    #[test]
+    fn opposite_orders_in_two_fns_cycle() {
+        let src = "fn a(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }\nfn b(&self) { let h = self.beta.lock(); let g = self.alpha.lock(); }\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-L001");
+        assert!(diags[0].message.contains("alpha"));
+        assert!(diags[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "fn a(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }\nfn b(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_found() {
+        let src = "fn outer(&self) { let g = self.alpha.lock(); helper(self); }\nfn helper(s: &S) { let h = s.beta.lock(); }\nfn other(&self) { let h = self.beta.lock(); let g = self.alpha.lock(); }\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_lock() {
+        let src = "fn pump(s: &mut TcpStream) { let mut b = [0u8; 8]; let n = s.read(&mut b); }\nfn other(&self) { let g = self.read_lock.read(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_participate() {
+        let src = "fn a(&self) { let g = self.table.read(); let h = self.queue.lock(); }\nfn b(&self) { let h = self.queue.lock(); let g = self.table.write(); }\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn reacquiring_same_lock_is_not_a_cycle() {
+        let src =
+            "fn a(&self) { let g = self.alpha.lock(); drop(g); let h = self.alpha.lock(); }\n";
+        assert!(run(src).is_empty());
+    }
+}

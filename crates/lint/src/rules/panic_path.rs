@@ -1,0 +1,139 @@
+//! RL-P001..RL-P003: aborts on fault-critical paths.
+//!
+//! The configured files are the code that runs *while the cluster is
+//! degrading* — the driver's event loop, worker serve loops, socket
+//! reader threads, liveness tracking. A panic there converts a survivable
+//! fault (a peer died, a frame tore) into the loss of the local process,
+//! which is exactly the failure mode §5's fault-tolerance design exists
+//! to avoid. Faults must surface as typed errors or logged degradation.
+//!
+//! - **RL-P001** — `.unwrap()` / `.expect(...)`
+//! - **RL-P002** — `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! - **RL-P003** — slice/array indexing `x[i]` (use `.get()` and handle
+//!   the miss)
+//!
+//! Test code is exempt; `assert!` is allowed (invariant checks at
+//! construction time are legitimate).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::{emit, seq_at};
+use crate::source::SourceFile;
+
+const RULE: &str = "panic-path";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (slice patterns, array types/literals in statements).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "let", "mut", "ref", "in", "if", "while", "match", "return", "break", "else", "move", "box",
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test(i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" if i > 0 && seq_at(file, i - 1, &[".", "unwrap", "(", ")"]) => emit(
+                out,
+                file,
+                "RL-P001",
+                RULE,
+                t.line,
+                "unwrap() on a fault path; return a typed error or degrade with a log".into(),
+            ),
+            "expect" if i > 0 && toks[i - 1].text == "." && seq_at(file, i, &["expect", "("]) => {
+                emit(
+                    out,
+                    file,
+                    "RL-P001",
+                    RULE,
+                    t.line,
+                    "expect() on a fault path; return a typed error or degrade with a log".into(),
+                )
+            }
+            name if PANIC_MACROS.contains(&name)
+                && toks.get(i + 1).is_some_and(|n| n.text == "!") =>
+            {
+                emit(
+                    out,
+                    file,
+                    "RL-P002",
+                    RULE,
+                    t.line,
+                    format!("{name}! aborts the process on a fault path; surface an error instead"),
+                )
+            }
+            "[" if t.kind == TokKind::Punct && i > 0 => {
+                let prev = &toks[i - 1];
+                let indexes = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == "]" || prev.text == ")",
+                    _ => false,
+                };
+                if indexes {
+                    emit(
+                        out,
+                        file,
+                        "RL-P003",
+                        RULE,
+                        t.line,
+                        "slice indexing can panic on a fault path; use .get() and handle the miss"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("x.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panics_and_indexing() {
+        let src = "fn f(v: Vec<u32>) {\n    let a = v.first().unwrap();\n    let b = o.expect(\"msg\");\n    panic!(\"boom\");\n    let c = v[0];\n}\n";
+        let codes: Vec<_> = run(src).iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["RL-P001", "RL-P001", "RL-P002", "RL-P003"]);
+    }
+
+    #[test]
+    fn unwrap_or_else_and_relatives_are_clean() {
+        let src = "fn f() {\n    let a = m.lock().unwrap_or_else(|e| e.into_inner());\n    let b = o.unwrap_or_default();\n    let c = o.unwrap_or(3);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn attributes_macros_and_types_are_not_indexing() {
+        let src = "#[derive(Debug)]\nfn f(buf: &mut [u8; 4]) {\n    let v = vec![0u8; 4];\n    let [a, b] = pair;\n    for x in [1, 2] {}\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn call_result_indexing_is_flagged() {
+        assert_eq!(run("fn f() { let x = g()[0]; }\n").len(), 1);
+    }
+
+    #[test]
+    fn assert_is_allowed() {
+        assert!(run("fn f(n: usize) { assert!(n > 0, \"positive\"); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[test]\nfn t() { v[0].unwrap(); panic!(); }\n";
+        assert!(run(src).is_empty());
+    }
+}

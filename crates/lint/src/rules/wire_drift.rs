@@ -1,0 +1,451 @@
+//! RL-W001..RL-W003: wire-format completeness and protocol versioning.
+//!
+//! The driver ships scenarios to workers and gets reports back through
+//! the hand-rolled `Wire` codec. Two silent failure modes live there:
+//!
+//! - A field added to `Scenario`/`RunReport`/... but forgotten in the
+//!   codec: the field silently resets to its default on the far side of
+//!   the wire, and distributed runs diverge from local ones.
+//!   **RL-W001** cross-checks every struct field against the `Wire`
+//!   impl: the encoder must mention `self.<field>`, the decoder must
+//!   mention `<field>` at all (shorthand struct init counts).
+//! - A change to the `cluster::protocol` message enums without a
+//!   `PROTOCOL_VERSION` bump: mixed-version deployments then
+//!   misinterpret frames instead of refusing the handshake. The rule
+//!   fingerprints the protocol file's token stream; a fingerprint change
+//!   with the same version is **RL-W002**, and with a bumped version is
+//!   **RL-W003** — a reminder to re-record the fingerprint in
+//!   `lint.toml` (so the gate stays armed for the *next* edit).
+
+use std::collections::BTreeMap;
+
+use crate::config::WireDriftConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::emit;
+use crate::source::SourceFile;
+
+const RULE: &str = "wire-drift";
+
+/// Fields of one struct, in declaration order, with the struct's line.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub fields: Vec<String>,
+    pub line: u32,
+}
+
+/// Finds `struct <name> { ... }` definitions and their named fields.
+pub fn struct_defs(file: &SourceFile, wanted: &[String]) -> BTreeMap<String, StructDef> {
+    let toks = &file.lexed.toks;
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "struct"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && wanted.contains(&t.text))
+        {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            // Find the body brace (skipping generics; tuple structs and
+            // unit structs have no named fields and are skipped).
+            let mut j = i + 2;
+            while j < toks.len()
+                && toks[j].text != "{"
+                && toks[j].text != ";"
+                && toks[j].text != "("
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "{" {
+                let end = crate::source::matching(toks, j, "{", "}");
+                let mut fields = Vec::new();
+                let mut depth = 0isize;
+                let mut k = j;
+                while k <= end {
+                    match toks[k].text.as_str() {
+                        "{" | "(" | "[" | "<" => depth += 1,
+                        "}" | ")" | "]" => depth -= 1,
+                        // `>` closes a generic — unless it is the tail of
+                        // a `->` in an fn-pointer field type.
+                        ">" if !(k > 0 && toks[k - 1].text == "-") => depth -= 1,
+                        ":" if depth == 1 => {
+                            // `field :` at struct-body depth; the token
+                            // before the colon is the field name, unless
+                            // this is a path `::`.
+                            let double = toks.get(k + 1).is_some_and(|t| t.text == ":")
+                                || k > 0 && toks[k - 1].text == ":";
+                            if !double {
+                                if let Some(prev) = toks.get(k - 1) {
+                                    if prev.kind == TokKind::Ident {
+                                        fields.push(prev.text.clone());
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.insert(name, StructDef { fields, line });
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token range of `fn <which>` bodies inside `impl Wire for <name>`.
+fn wire_fn_body(file: &SourceFile, name: &str, which: &str) -> Option<(usize, usize, u32)> {
+    let toks = &file.lexed.toks;
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if toks[i].text == "impl"
+            && toks[i + 1].text == "Wire"
+            && toks[i + 2].text == "for"
+            && toks[i + 3].text == name
+        {
+            let mut j = i + 4;
+            while j < toks.len() && toks[j].text != "{" {
+                j += 1;
+            }
+            if j >= toks.len() {
+                return None;
+            }
+            let impl_end = crate::source::matching(toks, j, "{", "}");
+            let mut k = j;
+            while k < impl_end {
+                if toks[k].text == "fn" && toks.get(k + 1).is_some_and(|t| t.text == which) {
+                    let line = toks[k].line;
+                    let mut b = k + 2;
+                    while b < impl_end && toks[b].text != "{" {
+                        if toks[b].text == "(" {
+                            b = crate::source::matching(toks, b, "(", ")");
+                        }
+                        b += 1;
+                    }
+                    let end = crate::source::matching(toks, b, "{", "}");
+                    return Some((b, end, line));
+                }
+                k += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// FNV-1a 64-bit over the non-test token texts of a file — a
+/// whitespace- and comment-insensitive content fingerprint.
+pub fn fingerprint(file: &SourceFile) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, t) in file.lexed.toks.iter().enumerate() {
+        if file.is_test(i) {
+            continue;
+        }
+        for b in t.text.bytes().chain(std::iter::once(0)) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Extracts the value of `PROTOCOL_VERSION` from the protocol file.
+pub fn protocol_version(file: &SourceFile) -> Option<u64> {
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "PROTOCOL_VERSION" {
+            // const PROTOCOL_VERSION : u32 = <num> ;
+            for k in i + 1..(i + 8).min(toks.len()) {
+                if toks[k].text == "=" {
+                    if let Some(num) = toks.get(k + 1) {
+                        if num.kind == TokKind::Num {
+                            return num.text.replace('_', "").parse().ok();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks codec coverage of `structs` (defined in `struct_files`)
+/// against the `Wire` impls in `codec_file`.
+pub fn check_codec(
+    cfg: &WireDriftConfig,
+    struct_files: &[SourceFile],
+    codec_file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut defs: BTreeMap<String, StructDef> = BTreeMap::new();
+    for f in struct_files {
+        defs.extend(struct_defs(f, &cfg.structs));
+    }
+    for name in &cfg.structs {
+        let Some(def) = defs.get(name) else {
+            emit(
+                out,
+                codec_file,
+                "RL-W001",
+                RULE,
+                1,
+                format!("struct {name} named in lint.toml was not found under struct_paths"),
+            );
+            continue;
+        };
+        let encode = wire_fn_body(codec_file, name, "encode");
+        let decode = wire_fn_body(codec_file, name, "decode");
+        let (Some(enc), Some(dec)) = (encode, decode) else {
+            emit(
+                out,
+                codec_file,
+                "RL-W001",
+                RULE,
+                1,
+                format!("no Wire impl with encode/decode found for {name}"),
+            );
+            continue;
+        };
+        let toks = &codec_file.lexed.toks;
+        for field in &def.fields {
+            // Encoder: a literal `self . field` access.
+            let covered_enc = (enc.0..=enc.1).any(|i| {
+                toks[i].text == "self"
+                    && toks.get(i + 1).is_some_and(|t| t.text == ".")
+                    && toks.get(i + 2).is_some_and(|t| t.text == *field)
+            });
+            if !covered_enc {
+                emit(
+                    out,
+                    codec_file,
+                    "RL-W001",
+                    RULE,
+                    enc.2,
+                    format!(
+                        "{name}::{field} is never encoded (no `self.{field}` in Wire::encode) — \
+                         the field would silently vanish on the wire"
+                    ),
+                );
+            }
+            // Decoder: the field identifier anywhere in the body
+            // (shorthand struct init `Self {{ field }}` counts).
+            let covered_dec =
+                (dec.0..=dec.1).any(|i| toks.get(i).is_some_and(|t| t.text == *field));
+            if !covered_dec {
+                emit(
+                    out,
+                    codec_file,
+                    "RL-W001",
+                    RULE,
+                    dec.2,
+                    format!(
+                        "{name}::{field} is never decoded (identifier absent from Wire::decode) — \
+                         the field would reset to default after transport"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Checks the protocol fingerprint/version pairing.
+pub fn check_protocol(
+    cfg: &WireDriftConfig,
+    protocol_file: &SourceFile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let fp = fingerprint(protocol_file);
+    let version = protocol_version(protocol_file);
+    let Some(version) = version else {
+        emit(
+            out,
+            protocol_file,
+            "RL-W002",
+            RULE,
+            1,
+            "no PROTOCOL_VERSION constant found in the protocol file".into(),
+        );
+        return;
+    };
+    if cfg.protocol_fingerprint.is_empty() {
+        emit(
+            out,
+            protocol_file,
+            "RL-W003",
+            RULE,
+            1,
+            format!(
+                "no recorded protocol fingerprint; record in lint.toml: \
+                 protocol_version = {version}, protocol_fingerprint = \"{fp}\""
+            ),
+        );
+        return;
+    }
+    if fp == cfg.protocol_fingerprint {
+        return; // unchanged since last recording
+    }
+    if version == cfg.protocol_version {
+        emit(
+            out,
+            protocol_file,
+            "RL-W002",
+            RULE,
+            1,
+            format!(
+                "protocol definitions changed (fingerprint {fp} != recorded \
+                 {}) without a PROTOCOL_VERSION bump — mixed-version nodes would \
+                 misread frames; bump PROTOCOL_VERSION",
+                cfg.protocol_fingerprint
+            ),
+        );
+    } else {
+        emit(
+            out,
+            protocol_file,
+            "RL-W003",
+            RULE,
+            1,
+            format!(
+                "protocol changed and PROTOCOL_VERSION bumped to {version}; \
+                 re-record in lint.toml: protocol_version = {version}, \
+                 protocol_fingerprint = \"{fp}\""
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = "pub struct Pair {\n    pub left: u32,\n    pub right: Vec<u8>,\n}\n";
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.into(), src)
+    }
+
+    fn cfg() -> WireDriftConfig {
+        WireDriftConfig {
+            struct_paths: vec![],
+            structs: vec!["Pair".into()],
+            codec: String::new(),
+            protocol: String::new(),
+            protocol_version: 1,
+            protocol_fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn complete_codec_is_clean() {
+        let codec = "impl Wire for Pair {\n    fn encode(&self, b: &mut B) { b.put(self.left); b.put(&self.right); }\n    fn decode(r: &mut R) -> Self { let left = r.u32(); let right = r.bytes(); Pair { left, right } }\n}\n";
+        let mut out = Vec::new();
+        check_codec(
+            &cfg(),
+            &[file("m.rs", MODEL)],
+            &file("c.rs", codec),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_encode_field_flagged() {
+        let codec = "impl Wire for Pair {\n    fn encode(&self, b: &mut B) { b.put(self.left); }\n    fn decode(r: &mut R) -> Self { let left = r.u32(); let right = r.bytes(); Pair { left, right } }\n}\n";
+        let mut out = Vec::new();
+        check_codec(
+            &cfg(),
+            &[file("m.rs", MODEL)],
+            &file("c.rs", codec),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("right"));
+        assert!(out[0].message.contains("never encoded"));
+    }
+
+    #[test]
+    fn missing_decode_field_flagged() {
+        let codec = "impl Wire for Pair {\n    fn encode(&self, b: &mut B) { b.put(self.left); b.put(&self.right); }\n    fn decode(r: &mut R) -> Self { let left = r.u32(); Pair { left, right: Default::default() } }\n}\n";
+        let mut out = Vec::new();
+        check_codec(
+            &cfg(),
+            &[file("m.rs", MODEL)],
+            &file("c.rs", codec),
+            &mut out,
+        );
+        // `right:` appears in the decode body (as a defaulted field), so
+        // this particular dodge is NOT caught — the decode check is
+        // presence-based. Remove the mention entirely and it is caught.
+        assert!(out.is_empty());
+        let codec2 = codec.replace("right: Default::default()", "..Default::default()");
+        let mut out2 = Vec::new();
+        check_codec(
+            &cfg(),
+            &[file("m.rs", MODEL)],
+            &file("c.rs", &codec2),
+            &mut out2,
+        );
+        assert_eq!(out2.len(), 1);
+        assert!(out2[0].message.contains("never decoded"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_comments_and_whitespace() {
+        let a = file(
+            "p.rs",
+            "pub const PROTOCOL_VERSION: u32 = 1;\npub enum M { A, B, }\n",
+        );
+        let b = file(
+            "p.rs",
+            "// comment\npub const PROTOCOL_VERSION: u32 = 1;\n\npub enum M {\n    A,\n    B,\n}\n",
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn drift_without_bump_is_w002_with_bump_is_w003() {
+        let base = file(
+            "p.rs",
+            "pub const PROTOCOL_VERSION: u32 = 1;\npub enum M { A }\n",
+        );
+        let mut c = cfg();
+        c.protocol_fingerprint = fingerprint(&base);
+        c.protocol_version = 1;
+
+        // Unchanged: clean.
+        let mut out = Vec::new();
+        check_protocol(&c, &base, &mut out);
+        assert!(out.is_empty());
+
+        // Enum edited, version untouched: W002.
+        let drifted = file(
+            "p.rs",
+            "pub const PROTOCOL_VERSION: u32 = 1;\npub enum M { A, B }\n",
+        );
+        let mut out = Vec::new();
+        check_protocol(&c, &drifted, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "RL-W002");
+
+        // Enum edited and version bumped: W003 (re-record reminder).
+        let bumped = file(
+            "p.rs",
+            "pub const PROTOCOL_VERSION: u32 = 2;\npub enum M { A, B }\n",
+        );
+        let mut out = Vec::new();
+        check_protocol(&c, &bumped, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "RL-W003");
+    }
+
+    #[test]
+    fn version_constant_parsed() {
+        let f = file("p.rs", "pub const PROTOCOL_VERSION: u32 = 42;\n");
+        assert_eq!(protocol_version(&f), Some(42));
+    }
+}

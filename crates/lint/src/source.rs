@@ -1,0 +1,213 @@
+//! Item-level structure recovered from the token stream: which tokens
+//! belong to test code, and where function bodies begin and end.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// A loaded, lexed source file plus derived structure.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (relative to the lint root).
+    pub rel_path: String,
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` lies inside test-only code
+    /// (a `#[cfg(test)]` module or a `#[test]` function).
+    pub test_mask: Vec<bool>,
+}
+
+/// One function body: name plus the token range of its `{ ... }` block
+/// (inclusive of the braces).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub body_start: usize,
+    pub body_end: usize,
+    pub line: u32,
+}
+
+impl SourceFile {
+    pub fn new(rel_path: String, src: &str) -> Self {
+        let lexed = crate::lexer::lex(src);
+        let test_mask = test_mask(&lexed.toks);
+        SourceFile {
+            rel_path,
+            lexed,
+            test_mask,
+        }
+    }
+
+    /// Whether token `i` is test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Non-test function bodies in the file.
+    pub fn fns(&self) -> Vec<FnSpan> {
+        fn_spans(&self.lexed.toks)
+            .into_iter()
+            .filter(|f| !self.is_test(f.body_start))
+            .collect()
+    }
+}
+
+/// Index of the token matching the opener at `open` (`{`/`}`, `[`/`]`,
+/// `(`/`)`), or the last token if unbalanced.
+pub fn matching(toks: &[Tok], open: usize, open_ch: &str, close_ch: &str) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_ch {
+                depth += 1;
+            } else if t.text == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Marks tokens covered by `#[cfg(test)] mod`/`#[test] fn` items.
+///
+/// The heuristic: any attribute `#[...]` whose bracket contents mention
+/// the identifier `test` marks the next item (after any further
+/// attributes) as test code, through the end of its brace block.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let close = matching(toks, i + 1, "[", "]");
+            let mentions_test = toks[i + 2..close].iter().any(|t| t.text == "test");
+            if mentions_test {
+                // Skip over any further attributes to the item keyword.
+                let mut j = close + 1;
+                while j < toks.len()
+                    && toks[j].text == "#"
+                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    j = matching(toks, j + 1, "[", "]") + 1;
+                }
+                // Find the item's opening brace (or `;` for `mod x;`).
+                let mut k = j;
+                while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].text == "{" {
+                    let end = matching(toks, k, "{", "}");
+                    for slot in mask.iter_mut().take(end + 1).skip(i) {
+                        *slot = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Extracts `fn name ... { body }` spans (all of them; callers filter by
+/// test mask). Trait-method declarations without bodies are skipped.
+fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            // Scan the signature for `{` (body) or `;` (declaration).
+            // Parentheses are skipped wholesale so closures or default
+            // expressions inside the argument list cannot confuse us.
+            let mut j = i + 2;
+            let mut open = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => j = matching(toks, j, "(", ")") + 1,
+                    "{" => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" => break,
+                    _ => j += 1,
+                }
+            }
+            if let Some(open) = open {
+                let end = matching(toks, open, "{", "}");
+                out.push(FnSpan {
+                    name: name_tok.text.clone(),
+                    body_start: open,
+                    body_end: end,
+                    line: toks[i].line,
+                });
+                // Continue *inside* the body too: nested fns are rare but
+                // cheap to pick up.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let toks = &f.lexed.toks;
+        let live = toks.iter().position(|t| t.text == "live").unwrap();
+        let helper = toks.iter().position(|t| t.text == "helper").unwrap();
+        let live2 = toks.iter().position(|t| t.text == "live2").unwrap();
+        assert!(!f.is_test(live));
+        assert!(f.is_test(helper));
+        assert!(!f.is_test(live2));
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn real() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let toks = &f.lexed.toks;
+        let check = toks.iter().position(|t| t.text == "check").unwrap();
+        let real = toks.iter().position(|t| t.text == "real").unwrap();
+        assert!(f.is_test(check));
+        assert!(!f.is_test(real));
+    }
+
+    #[test]
+    fn non_test_attrs_do_not_mask() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() {}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        assert!(f.test_mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn fn_spans_found_with_names() {
+        let src = "fn alpha() { beta(); }\nimpl T { fn beta(&self) -> u32 { 1 } }\ntrait Q { fn decl(&self); }\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let names: Vec<_> = f.fns().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn test_fns_excluded_from_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() {} }\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let names: Vec<_> = f.fns().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["live"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: near-misses that the determinism rules must NOT flag.
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+use rocket_cache::{FxHashMap, FxHashSet};
+
+pub fn build_index(keys: &[u32]) -> FxHashMap<u32, usize> {
+    let mut index = FxHashMap::default();
+    for (i, k) in keys.iter().enumerate() {
+        index.insert(*k, i);
+    }
+    index
+}
+
+pub fn dedup(keys: &[u32]) -> FxHashSet<u32> {
+    keys.iter().copied().collect()
+}
+
+/// Storing or passing an `Instant` handed in from a sanctioned source is
+/// fine; only the `::now()` read is a wall-clock dependency.
+pub fn hold(deadline: std::time::Instant) -> std::time::Instant {
+    deadline
+}
+
+/// Seeded RNG is the sanctioned form.
+pub fn scramble(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn excused() -> std::time::Instant {
+    // lint:allow(determinism) — fixture for the suppression path: a
+    // deliberate wall-clock read with a recorded rationale.
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_host_timing() {
+        let t = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut m = HashMap::new();
+        m.insert(1, t);
+    }
+}

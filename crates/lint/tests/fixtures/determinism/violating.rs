@@ -1,0 +1,24 @@
+//! Fixture: one finding per determinism code (RL-D001..RL-D004).
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+pub fn build_index(keys: &[u32]) -> Vec<(u32, usize)> {
+    let mut index = std::collections::HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        index.insert(*k, i);
+    }
+    index.into_iter().collect()
+}
+
+pub fn elapsed_secs() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn idle_pause() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn scramble() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

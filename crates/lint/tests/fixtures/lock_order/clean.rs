@@ -1,0 +1,34 @@
+//! Fixture: consistent lock ordering and non-lock `.read()` calls that
+//! the lock-order rule must NOT flag. Never compiled — scanned by
+//! rocket-lint's fixture tests.
+
+pub struct Shared {
+    jobs: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Shared {
+    /// Takes `jobs` then `stats`.
+    pub fn submit(&self, id: u32) {
+        let mut jobs = self.jobs.lock();
+        jobs.push(id);
+        let mut stats = self.stats.lock();
+        *stats += 1;
+    }
+
+    /// Same order: `jobs` then `stats`.
+    pub fn drain(&self) -> u64 {
+        let mut jobs = self.jobs.lock();
+        jobs.clear();
+        let stats = self.stats.lock();
+        *stats
+    }
+}
+
+/// `io::Read::read` takes an argument, so it is not a lock acquisition.
+pub fn pump(stream: &mut TcpStream, table: &RwLock<u64>) -> u64 {
+    let mut chunk = [0u8; 1024];
+    let _n = stream.read(&mut chunk);
+    let guard = table.read();
+    *guard
+}

@@ -1,0 +1,25 @@
+//! Fixture: a two-lock ordering inversion across two functions
+//! (RL-L001). Never compiled — scanned by rocket-lint's fixture tests.
+
+pub struct Shared {
+    jobs: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Shared {
+    /// Takes `jobs` then `stats`.
+    pub fn submit(&self, id: u32) {
+        let mut jobs = self.jobs.lock();
+        jobs.push(id);
+        let mut stats = self.stats.lock();
+        *stats += 1;
+    }
+
+    /// Takes `stats` then `jobs` — inverted; deadlocks against
+    /// `submit` under contention.
+    pub fn report(&self) -> (u64, usize) {
+        let stats = self.stats.lock();
+        let jobs = self.jobs.lock();
+        (*stats, jobs.len())
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixture: fault-tolerant forms and near-misses that the panic-path
+//! rules must NOT flag. Never compiled — scanned by rocket-lint's
+//! fixture tests.
+
+pub fn take_first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.unwrap_or_default()
+}
+
+/// Poisoning recovery is not an abort.
+pub fn guarded(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn header_byte(frame: &[u8]) -> Option<u8> {
+    frame.get(0).copied()
+}
+
+/// Array types, literals, slice patterns, macros, and attributes all use
+/// brackets without indexing.
+#[derive(Clone)]
+pub struct Frame {
+    pub header: [u8; 4],
+}
+
+pub fn build() -> Vec<u8> {
+    let buf = vec![0u8; 16];
+    let [a, b] = [1u8, 2u8];
+    for x in [a, b] {
+        let _ = x;
+    }
+    buf
+}
+
+/// Construction-time invariant checks are allowed.
+pub fn new_limiter(limit: usize) {
+    assert!(limit >= 1, "limit must be positive");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v = vec![1u32];
+        assert_eq!(v[0], 1);
+        v.first().unwrap();
+        if false {
+            panic!("test-only");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: one finding per panic-path pattern (RL-P001..RL-P003).
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+pub fn take_first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.expect("value required")
+}
+
+pub fn route(kind: u8) -> &'static str {
+    match kind {
+        0 => "job",
+        1 => "ping",
+        _ => unreachable!("unknown message kind"),
+    }
+}
+
+pub fn header_byte(frame: &[u8]) -> u8 {
+    frame[0]
+}

@@ -1,0 +1,31 @@
+//! Fixture: complete Wire impls for model.rs.
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+impl Wire for JobSpec {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.id);
+        w.put_u32(self.shard);
+        w.put_u8(self.retries);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let shard = r.u32()?;
+        let retries = r.u8()?;
+        Ok(JobSpec { id, shard, retries })
+    }
+}
+
+impl Wire for JobResult {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.pairs);
+        w.put_u64(self.elapsed_us);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(JobResult {
+            id: r.u64()?,
+            pairs: r.u64()?,
+            elapsed_us: r.u64()?,
+        })
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: wire structs whose codec (codec.rs) is complete.
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+pub struct JobSpec {
+    pub id: u64,
+    pub shard: u32,
+    pub retries: u8,
+}
+
+pub struct JobResult {
+    pub id: u64,
+    pub pairs: u64,
+    pub elapsed_us: u64,
+}

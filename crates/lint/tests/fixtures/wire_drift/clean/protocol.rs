@@ -1,0 +1,14 @@
+//! Fixture protocol file: version and message enums in sync.
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+pub const PROTOCOL_VERSION: u32 = 1;
+
+pub enum ToWorker {
+    Job { spec: JobSpec },
+    Shutdown,
+}
+
+pub enum ToDriver {
+    Done { result: JobResult },
+    Failed { id: u64 },
+}

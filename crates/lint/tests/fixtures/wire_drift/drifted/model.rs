@@ -1,0 +1,16 @@
+//! Fixture: JobSpec grew a `priority` field the codec never learned
+//! about, and the protocol enum changed without a version bump.
+//! Never compiled — scanned by rocket-lint's fixture tests.
+
+pub struct JobSpec {
+    pub id: u64,
+    pub shard: u32,
+    pub retries: u8,
+    pub priority: u8,
+}
+
+pub struct JobResult {
+    pub id: u64,
+    pub pairs: u64,
+    pub elapsed_us: u64,
+}

@@ -1,0 +1,16 @@
+//! Fixture protocol file: a new `Ping` message was added but
+//! PROTOCOL_VERSION was not bumped. Never compiled — scanned by
+//! rocket-lint's fixture tests.
+
+pub const PROTOCOL_VERSION: u32 = 1;
+
+pub enum ToWorker {
+    Job { spec: JobSpec },
+    Ping { nonce: u64 },
+    Shutdown,
+}
+
+pub enum ToDriver {
+    Done { result: JobResult },
+    Failed { id: u64 },
+}

@@ -551,18 +551,21 @@ impl<'a, Q: EventQueue<Ev>> Sim<'a, Q> {
     /// exactly one job lease, every host lease by one in-flight H2D copy.
     #[cfg(debug_assertions)]
     fn validate(&self) {
-        use std::collections::HashMap as Map;
+        // Dense per-slot tables (slot indices are 0..capacity): no hashed
+        // collections anywhere in the simulator, even debug-only ones.
         for (ni, node) in self.nodes.iter().enumerate() {
-            let mut dev_readers: Vec<Map<SlotIdx, u32>> =
-                (0..node.gpus.len()).map(|_| Map::new()).collect();
+            let mut dev_readers: Vec<Vec<u32>> = node
+                .gpus
+                .iter()
+                .map(|g| vec![0u32; g.cache.capacity()])
+                .collect();
             for job in node.jobs.iter().flatten() {
                 for slot in [job.left, job.right].into_iter().flatten() {
-                    *dev_readers[job.gpu].entry(slot).or_insert(0) += 1;
+                    dev_readers[job.gpu][slot] += 1;
                 }
             }
             for (g, gpu) in node.gpus.iter().enumerate() {
-                for slot in 0..gpu.cache.capacity() {
-                    let expected = dev_readers[g].get(&slot).copied().unwrap_or(0);
+                for (slot, &expected) in dev_readers[g].iter().enumerate() {
                     assert_eq!(
                         gpu.cache.readers(slot),
                         expected,
@@ -573,14 +576,13 @@ impl<'a, Q: EventQueue<Ev>> Sim<'a, Q> {
                     .check_invariants()
                     .expect("device cache invariants");
             }
-            let mut host_readers: Map<SlotIdx, u32> = Map::new();
+            let mut host_readers = vec![0u32; node.host_cache.capacity()];
             for gpu in &node.gpus {
                 for hslot in gpu.fills.iter().filter_map(|f| f.h2d_lease) {
-                    *host_readers.entry(hslot).or_insert(0) += 1;
+                    host_readers[hslot] += 1;
                 }
             }
-            for slot in 0..node.host_cache.capacity() {
-                let expected = host_readers.get(&slot).copied().unwrap_or(0);
+            for (slot, &expected) in host_readers.iter().enumerate() {
                 assert_eq!(
                     node.host_cache.readers(slot),
                     expected,

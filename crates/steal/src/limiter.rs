@@ -57,6 +57,8 @@ impl JobLimiter {
         let mut avail = self.available.lock();
         if *avail == 0 {
             self.peak_waits.fetch_add(1, Ordering::Relaxed);
+            // lint:allow(determinism) — wall-clock deadline for a blocking
+            // acquire; back-pressure timing never feeds computed results.
             let deadline = std::time::Instant::now() + timeout;
             while *avail == 0 {
                 if self.cond.wait_until(&mut avail, deadline).timed_out() {
