@@ -1,11 +1,17 @@
 //! Micro-benchmarks for the discrete-event simulator: raw event-queue
 //! throughput (both schedulers) and full cluster-simulation rate (pairs
 //! simulated/second) through the unified `Scenario`/`Backend` API.
+//!
+//! The cluster scenarios are the canonical anchors from
+//! [`rocket_bench::anchors`] — the same configurations the committed
+//! `BENCH_8.json` snapshot and the shard-equivalence tests use, so a
+//! bench regression and a correctness regression point at the same
+//! scenario.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use rocket_core::{Backend, NodeSpec, Scenario, WorkloadProfile};
+use rocket_bench::anchors;
+use rocket_core::{Backend, Scenario};
 use rocket_sim::{CalendarQueue, EventQueue, SimBackend, SlabEventQueue};
-use rocket_stats::Dist;
 
 fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -38,30 +44,8 @@ fn bench_queue(c: &mut Criterion) {
     group.finish();
 }
 
-fn toy_workload(items: u64) -> WorkloadProfile {
-    WorkloadProfile {
-        name: "bench",
-        items,
-        file_bytes: 1_000_000,
-        item_bytes: 10_000_000,
-        parse: Dist::Constant(10e-3),
-        preprocess: Some(Dist::Constant(5e-3)),
-        compare: Dist::Constant(1e-3),
-        postprocess: Dist::Constant(0.0),
-        paper_device_slots: 16,
-        paper_host_slots: 64,
-    }
-}
-
-fn scenario(items: u64, nodes: usize, node: NodeSpec) -> Scenario {
-    Scenario::builder()
-        .workload(toy_workload(items))
-        .nodes(nodes, node)
-        .build()
-}
-
-fn run_pairs(s: &Scenario) -> u64 {
-    SimBackend::new().run(black_box(s)).expect("sim run").pairs
+fn run_pairs(backend: &SimBackend, s: &Scenario) -> u64 {
+    backend.run(black_box(s)).expect("sim run").pairs
 }
 
 fn bench_cluster(c: &mut Criterion) {
@@ -70,12 +54,16 @@ fn bench_cluster(c: &mut Criterion) {
     let n = 96u64;
     group.throughput(Throughput::Elements(n * (n - 1) / 2));
     group.bench_function("single_node_n96", |b| {
-        let s = scenario(n, 1, NodeSpec::uniform(1, 32, 64));
-        b.iter(|| run_pairs(&s));
+        let s = anchors::single_node_n96();
+        b.iter(|| run_pairs(&SimBackend::new(), &s));
     });
     group.bench_function("four_nodes_n96_distcache", |b| {
-        let s = scenario(n, 4, NodeSpec::uniform(1, 16, 32));
-        b.iter(|| run_pairs(&s));
+        let s = anchors::four_nodes_n96_distcache();
+        b.iter(|| run_pairs(&SimBackend::new(), &s));
+    });
+    group.bench_function("four_nodes_n96_distcache_4shards", |b| {
+        let s = anchors::four_nodes_n96_distcache();
+        b.iter(|| run_pairs(&SimBackend::sharded(4), &s));
     });
     group.finish();
 }
@@ -89,16 +77,43 @@ fn bench_large_cluster(c: &mut Criterion) {
     let n = 256u64;
     group.throughput(Throughput::Elements(n * (n - 1) / 2));
     group.bench_function("sixteen_nodes_4gpu_n256_distcache", |b| {
-        let s = scenario(n, 16, NodeSpec::uniform(4, 24, 96));
-        b.iter(|| run_pairs(&s));
+        let s = anchors::sixteen_nodes_4gpu_n256_distcache();
+        b.iter(|| run_pairs(&SimBackend::new(), &s));
     });
     group.bench_function("sixteen_nodes_4gpu_n256_distcache_calendar", |b| {
-        let mut s = scenario(n, 16, NodeSpec::uniform(4, 24, 96));
+        let mut s = anchors::sixteen_nodes_4gpu_n256_distcache();
         s.calendar_queue = true;
-        b.iter(|| run_pairs(&s));
+        b.iter(|| run_pairs(&SimBackend::new(), &s));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_queue, bench_cluster, bench_large_cluster);
+fn bench_thousand_nodes(c: &mut Criterion) {
+    // The thousands-of-nodes anchor the sharded engine targets: 1024
+    // single-GPU nodes, 523 776 pairs, cloud-scale network latency.
+    // Sequential vs 8 shards on the steal pool — the results are
+    // byte-identical, only wall-clock differs (the parallel win needs
+    // hardware threads; see BENCH_8.json's host_parallelism field).
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let n = 1024u64;
+    group.throughput(Throughput::Elements(n * (n - 1) / 2));
+    group.bench_function("thousand_nodes", |b| {
+        let s = anchors::thousand_nodes();
+        b.iter(|| run_pairs(&SimBackend::new(), &s));
+    });
+    group.bench_function("thousand_nodes_8shards", |b| {
+        let s = anchors::thousand_nodes();
+        b.iter(|| run_pairs(&SimBackend::sharded(8), &s));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_cluster,
+    bench_large_cluster,
+    bench_thousand_nodes
+);
 criterion_main!(benches);

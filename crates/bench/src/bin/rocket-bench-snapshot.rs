@@ -1,0 +1,169 @@
+//! Writes (or checks) the committed bench snapshot `BENCH_8.json`.
+//!
+//! The snapshot records the median wall-clock time of each canonical
+//! bench anchor (`rocket_bench::anchors`) plus the sharded-DES speedup on
+//! the `thousand_nodes` anchor, with enough host metadata to interpret
+//! the numbers later. It is the committed waypoint of the performance
+//! trajectory: PRs that touch the simulator re-run it and the diff shows
+//! the cost or win.
+//!
+//! ```text
+//! rocket-bench-snapshot                  # measure, write BENCH_8.json
+//! rocket-bench-snapshot --out FILE       # measure, write FILE
+//! rocket-bench-snapshot --samples 7     # odd sample count per bench
+//! rocket-bench-snapshot --check [FILE]   # CI: validate an existing snapshot
+//! ```
+//!
+//! `--check` fails (exit 1) when the snapshot is missing or malformed —
+//! every anchor must be present with a positive median. It never re-runs
+//! the benches, so it is cheap enough for every CI run.
+
+use std::process::ExitCode;
+
+use rocket_bench::anchors;
+use rocket_core::clock::stopwatch;
+use rocket_core::Backend;
+use rocket_sim::SimBackend;
+
+/// Snapshot rows: every sequential anchor, plus `thousand_nodes` on 8
+/// shards (the parallel-DES headline measurement).
+const SHARDED_ROW: &str = "thousand_nodes_8shards";
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure(backend: &SimBackend, scenario: &rocket_core::Scenario, samples: usize) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let sw = stopwatch();
+            let r = backend.run(scenario).expect("bench anchor run");
+            assert!(r.pairs > 0, "anchor simulated no work");
+            sw.elapsed().as_nanos()
+        })
+        .collect();
+    median_ns(&mut times)
+}
+
+fn write_snapshot(out: &str, samples: usize) {
+    let mut rows = Vec::new();
+    for (name, make) in anchors::ALL {
+        let s = make();
+        eprintln!("measuring {name} ({samples} samples)…");
+        let ns = measure(&SimBackend::new(), &s, samples);
+        rows.push((name.to_string(), ns, s.workload.pairs()));
+    }
+    let thousand = anchors::thousand_nodes();
+    eprintln!("measuring {SHARDED_ROW} ({samples} samples)…");
+    let sharded_ns = measure(&SimBackend::sharded(8), &thousand, samples);
+    rows.push((SHARDED_ROW.into(), sharded_ns, thousand.workload.pairs()));
+
+    let seq_ns = rows
+        .iter()
+        .find(|(n, ..)| n == "thousand_nodes")
+        .map(|&(_, ns, _)| ns)
+        .expect("thousand_nodes row");
+    let speedup = seq_ns as f64 / sharded_ns as f64;
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": 1,\n  \"pr\": 8,\n");
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"host_parallelism\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"thousand_nodes_speedup_8shards\": {speedup:.3},\n"
+    ));
+    json.push_str("  \"benches\": {\n");
+    for (i, (name, ns, pairs)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {{\"median_ns\": {ns}, \"pairs\": {pairs}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(out, &json).expect("write snapshot");
+    println!("wrote {out} (speedup x{speedup:.2} on {threads} hardware threads)");
+}
+
+/// Validates a snapshot without re-measuring: parses the hand-rolled
+/// layout far enough to know every anchor row exists with a positive
+/// median.
+fn check_snapshot(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !text.contains("\"schema\": 1") {
+        return Err(format!("{path}: missing/unknown schema marker"));
+    }
+    let mut names: Vec<&str> = anchors::ALL.iter().map(|&(n, _)| n).collect();
+    names.push(SHARDED_ROW);
+    for name in names {
+        let needle = format!("\"{name}\": {{\"median_ns\": ");
+        let at = text
+            .find(&needle)
+            .ok_or_else(|| format!("{path}: missing bench row {name}"))?;
+        let digits: String = text[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let ns: u128 = digits
+            .parse()
+            .map_err(|_| format!("{path}: non-numeric median for {name}"))?;
+        if ns == 0 {
+            return Err(format!("{path}: zero median for {name}"));
+        }
+    }
+    if !text.contains("\"thousand_nodes_speedup_8shards\":") {
+        return Err(format!("{path}: missing sharded speedup"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_8.json".to_string();
+    let mut samples = 5usize;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => samples = v,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if !other.starts_with('-') && check => out = other.to_string(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: rocket-bench-snapshot [--out FILE] [--samples N] | --check [FILE]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if check {
+        match check_snapshot(&out) {
+            Ok(()) => {
+                println!("{out}: snapshot ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        write_snapshot(&out, samples);
+        ExitCode::SUCCESS
+    }
+}

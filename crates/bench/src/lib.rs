@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod anchors;
 pub mod experiments;
 pub mod util;
 

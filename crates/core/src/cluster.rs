@@ -178,6 +178,8 @@ impl<O> AppReport<O> {
             directory: self.directory(),
             pairs_per_node,
             completions: None,
+            sim_shards: 0,
+            sim_windows: 0,
             degraded: false,
         }
     }

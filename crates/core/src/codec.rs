@@ -315,6 +315,7 @@ impl Wire for Scenario {
         put_bool(w, self.tracing);
         put_bool(w, self.record_completions);
         put_bool(w, self.calendar_queue);
+        put_usize(w, self.sim_shards);
         w.put_u64(self.seed);
     }
 
@@ -338,6 +339,7 @@ impl Wire for Scenario {
             tracing: get_bool(r)?,
             record_completions: get_bool(r)?,
             calendar_queue: get_bool(r)?,
+            sim_shards: get_usize(r)?,
             seed: r.get_u64()?,
         })
     }
@@ -373,6 +375,8 @@ impl Wire for RunReport {
                 put_series(w, s);
             }
         }
+        w.put_u32(self.sim_shards);
+        w.put_u64(self.sim_windows);
         put_bool(w, self.degraded);
     }
 
@@ -406,6 +410,8 @@ impl Wire for RunReport {
                 1 => Some(get_series(r)?),
                 t => return Err(WireError::BadTag(t)),
             },
+            sim_shards: r.get_u32()?,
+            sim_windows: r.get_u64()?,
             degraded: get_bool(r)?,
         })
     }
@@ -453,6 +459,7 @@ mod tests {
             .tracing(true)
             .record_completions(true)
             .calendar_queue(true)
+            .sim_shards(3)
             .seed(0xC0FFEE)
             .build()
     }
@@ -521,6 +528,8 @@ mod tests {
             },
             pairs_per_node: vec![100, 176],
             completions: Some(series),
+            sim_shards: 4,
+            sim_windows: 1234,
             degraded: true,
         };
         let back = RunReport::from_bytes(r.to_bytes()).expect("decode");
@@ -551,6 +560,8 @@ mod tests {
             directory: DirectoryStats::default(),
             pairs_per_node: Vec::new(),
             completions: None,
+            sim_shards: 0,
+            sim_windows: 0,
             degraded: false,
         };
         let back = RunReport::from_bytes(r.to_bytes()).unwrap();

@@ -134,6 +134,11 @@ pub struct RunReport {
     pub pairs_per_node: Vec<u64>,
     /// Per-GPU completion timestamps (only when the scenario records them).
     pub completions: Option<ThroughputSeries>,
+    /// Shards the DES backend ran on (0 for backends without sharding).
+    pub sim_shards: u32,
+    /// Time windows the sharded DES entered (invariant under the shard
+    /// count; 0 for backends without sharding).
+    pub sim_windows: u64,
     /// True when fault handling touched this run — its work was re-dealt
     /// after a worker loss, or it finished below the cluster's quorum — so
     /// totals are correct but timings may not be representative. In-process
@@ -225,6 +230,10 @@ impl RunReport {
         ));
         out.push_str(",\"pairs_per_node\":");
         push_u64_array(&mut out, self.pairs_per_node.iter().copied());
+        out.push_str(&format!(
+            ",\"sim_shards\":{},\"sim_windows\":{}",
+            self.sim_shards, self.sim_windows
+        ));
         out.push_str(&format!(",\"degraded\":{}", self.degraded));
         out.push('}');
         out
@@ -268,6 +277,8 @@ mod tests {
             directory: DirectoryStats::default(),
             pairs_per_node: vec![45],
             completions: None,
+            sim_shards: 0,
+            sim_windows: 0,
             degraded: false,
         }
     }
@@ -314,6 +325,8 @@ mod tests {
             "\"pairs_per_node\":[20,25]",
             "\"net_bytes\":0",
             "\"hits_at_hop\":[]",
+            "\"sim_shards\":0",
+            "\"sim_windows\":0",
             "\"degraded\":false",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

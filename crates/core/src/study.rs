@@ -28,6 +28,7 @@
 //! #             busy: Default::default(), device_cache: Default::default(),
 //! #             host_cache: Default::default(), directory: Default::default(),
 //! #             pairs_per_node: vec![s.workload.pairs()], completions: None,
+//! #             sim_shards: 0, sim_windows: 0,
 //! #             degraded: false,
 //! #         })
 //! #     }
@@ -554,6 +555,8 @@ mod tests {
                 directory: Default::default(),
                 pairs_per_node: vec![s.workload.pairs()],
                 completions: None,
+                sim_shards: 0,
+                sim_windows: 0,
                 degraded: false,
             })
         }

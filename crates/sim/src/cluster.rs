@@ -14,6 +14,12 @@
 //! host fill → distributed lookup → load pipeline), so simulator results
 //! are explanatory for the real runtime.
 //!
+//! This module owns the *model*: configuration, per-node state tables, and
+//! the result fold. The event engine lives in `crate::shard` — a
+//! conservative time-window design that runs the same model on one shard
+//! (sequential) or many (parallel over the steal pool) with byte-identical
+//! results; see `SimConfig::shards`.
+//!
 //! # Dense-table state layout
 //!
 //! The per-event handlers run millions of times per simulation, so all
@@ -22,9 +28,10 @@
 //!
 //! * **Jobs** live in a per-node free-list slab (`SimNode::jobs` +
 //!   `SimNode::free_jobs`); a job id *is* its slab slot. Slots recycle only
-//!   after `Sim::on_post_done`, and a completed job can have no parked
-//!   waiter tokens (it must have held both leases to reach the compare
-//!   stage), so recycled ids can never be reached by stale wake-ups.
+//!   after post-processing completes, and a completed job can have no
+//!   parked waiter tokens (it must have held both leases to reach the
+//!   compare stage), so recycled ids can never be reached by stale
+//!   wake-ups.
 //! * **Device-fill state** is per-GPU × per-item: `SimGpu::fills[item]`
 //!   holds the WRITE-reserved device slot, the host-slot lease of the
 //!   in-flight H2D copy, and the parked waiter tokens — replacing three
@@ -38,21 +45,16 @@
 //! — a few MB for the largest scenario sweeps — in exchange for removing
 //! every hash and every `Dist` clone from the per-event path.
 
-use std::collections::VecDeque;
-
-use rocket_cache::{
-    CacheStats, Directory, DirectoryMsg, DirectoryStats, Lookup, Resolution, SlotCache, SlotIdx,
-};
+use rocket_cache::{CacheStats, Directory, DirectoryMsg, DirectoryStats, SlotCache, SlotIdx};
 use rocket_core::WorkloadProfile;
 use rocket_gpu::DeviceProfile;
 use rocket_stats::{Dist, Distribution, Xoshiro256};
 use rocket_steal::{Block, Pair, TaskDeque};
 use rocket_trace::ThroughputSeries;
 
-use crate::engine::{
-    ns_to_secs, secs_to_ns, CalendarQueue, EventQueue, Scheduler, SimTime, SlabEventQueue,
-};
+use crate::engine::{secs_to_ns, CalendarQueue, Scheduler, SimTime, SlabEventQueue};
 use crate::server::{Engine, Pool};
+use crate::shard;
 
 /// Configuration of one simulated node.
 #[derive(Debug, Clone)]
@@ -108,6 +110,14 @@ pub struct SimConfig {
     /// Event-scheduling structure (results are identical either way; the
     /// calendar queue targets very large clusters).
     pub scheduler: Scheduler,
+    /// Event-engine shards for the conservative time-window parallel DES.
+    /// `1` runs sequentially; `k > 1` partitions nodes over `k` shards
+    /// advancing in lock-step windows on the steal pool. Results are
+    /// byte-identical for every value (clamped to the node count).
+    pub shards: usize,
+    /// Worker threads for sharded runs. `0` picks the machine's available
+    /// parallelism, capped at the shard count.
+    pub shard_threads: usize,
 }
 
 impl SimConfig {
@@ -134,6 +144,8 @@ impl SimConfig {
             seed: 0x9E3779B97F4A7C15,
             record_completions: false,
             scheduler: Scheduler::default(),
+            shards: 1,
+            shard_threads: 0,
         }
     }
 
@@ -148,6 +160,12 @@ impl SimConfig {
             .iter()
             .flat_map(|n| n.gpus.iter().cloned())
             .collect()
+    }
+
+    /// The shard count actually used: at least 1, at most one shard per
+    /// node (empty shards would only pay barrier overhead).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1).min(self.nodes.len().max(1))
     }
 }
 
@@ -170,6 +188,9 @@ pub struct SimResult {
     pub net_bytes: u64,
     /// Work-steal count (blocks moved between nodes).
     pub steals: u64,
+    /// Lock-step time windows the event engine executed. Invariant under
+    /// the shard count: one shard counts the same windows many would run.
+    pub windows: u64,
     /// Busy seconds: GPU pre-processing.
     pub busy_preprocess: f64,
     /// Busy seconds: GPU comparisons.
@@ -225,34 +246,34 @@ impl SimResult {
 
 /// Waiter token: which state machine to resume on wake-up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Job(u64),
     DevFill { gpu: usize, item: u64 },
 }
 
 #[derive(Debug)]
-struct SimJob {
-    pair: Pair,
-    gpu: usize,
-    left: Option<SlotIdx>,
-    right: Option<SlotIdx>,
+pub(crate) struct SimJob {
+    pub(crate) pair: Pair,
+    pub(crate) gpu: usize,
+    pub(crate) left: Option<SlotIdx>,
+    pub(crate) right: Option<SlotIdx>,
     /// The item this job last stalled on (capacity). Retries acquire it
     /// first: the retry then consumes the slot freed by our own release,
     /// guaranteeing progress instead of live-locking on the other item.
-    stalled: Option<u64>,
+    pub(crate) stalled: Option<u64>,
     /// Set once the compare kernel is scheduled; guards against duplicate
     /// scheduling from redundant wake-ups.
-    comparing: bool,
+    pub(crate) comparing: bool,
 }
 
 /// The device-profile numbers a simulated GPU actually consumes on the hot
 /// path, denormalized out of [`DeviceProfile`] so handlers never chase the
 /// profile struct (or clone its name) per event.
 #[derive(Debug, Clone, Copy)]
-struct GpuRates {
-    compute_scale: f64,
-    h2d_bytes_per_sec: f64,
-    d2h_bytes_per_sec: f64,
+pub(crate) struct GpuRates {
+    pub(crate) compute_scale: f64,
+    pub(crate) h2d_bytes_per_sec: f64,
+    pub(crate) d2h_bytes_per_sec: f64,
 }
 
 impl From<&DeviceProfile> for GpuRates {
@@ -271,71 +292,91 @@ impl From<&DeviceProfile> for GpuRates {
 /// hash maps: `SimGpu::fills[item]` is the single source of truth for one
 /// GPU's in-flight fill of one item.
 #[derive(Debug, Default, Clone)]
-struct DevFill {
+pub(crate) struct DevFill {
     /// Device slot reserved in WRITE state (`Some` while a fill is in
     /// flight for this item on this GPU).
-    dev_slot: Option<SlotIdx>,
+    pub(crate) dev_slot: Option<SlotIdx>,
     /// Host slot leased by the in-flight H2D copy, if one is running.
-    h2d_lease: Option<SlotIdx>,
+    pub(crate) h2d_lease: Option<SlotIdx>,
     /// Tokens to wake when the fill publishes.
-    waiters: Vec<Tok>,
+    pub(crate) waiters: Vec<Tok>,
 }
 
 /// Per-item host-fill row: origin GPU and the host slot reserved in WRITE
 /// state. Replaces the `host_fills` + `host_fill_slot` hash maps.
 #[derive(Debug, Clone, Copy)]
-struct HostFill {
-    origin_gpu: u32,
-    slot: SlotIdx,
+pub(crate) struct HostFill {
+    pub(crate) origin_gpu: u32,
+    pub(crate) slot: SlotIdx,
 }
 
 #[derive(Debug)]
-struct SimGpu {
-    rates: GpuRates,
-    cache: SlotCache<Tok>,
-    compute: Engine,
-    h2d: Engine,
-    d2h: Engine,
-    in_flight: usize,
-    pre_busy_ns: u64,
-    cmp_busy_ns: u64,
+pub(crate) struct SimGpu {
+    pub(crate) rates: GpuRates,
+    pub(crate) cache: SlotCache<Tok>,
+    pub(crate) compute: Engine,
+    pub(crate) h2d: Engine,
+    pub(crate) d2h: Engine,
+    pub(crate) in_flight: usize,
+    pub(crate) pre_busy_ns: u64,
+    pub(crate) cmp_busy_ns: u64,
     /// Dense per-item device-fill table, indexed by item id.
-    fills: Vec<DevFill>,
+    pub(crate) fills: Vec<DevFill>,
 }
 
-struct SimNode {
-    deque: TaskDeque,
-    pending: VecDeque<Pair>,
-    gpus: Vec<SimGpu>,
-    host_cache: SlotCache<Tok>,
-    cpu: Pool,
-    nic: Engine,
-    directory: Directory,
+pub(crate) struct SimNode {
+    /// Queued work, kept as blocks all the way down to single pairs so the
+    /// whole backlog (minus in-flight jobs) stays stealable: the owner pops
+    /// one pair at a time off the newest block and pushes the remainder
+    /// back, so a straggler's tail can still migrate to idle nodes.
+    pub(crate) deque: TaskDeque,
+    /// Open row the owner is streaming pairs from, kept out of the deque so
+    /// consuming a pair costs no deque traffic. Always a single-row block.
+    /// Normalized (pushed back) before any steal snapshot so the tail stays
+    /// stealable and deque state matches the one-block-per-pair scheme.
+    pub(crate) cursor: Option<Block>,
+    pub(crate) gpus: Vec<SimGpu>,
+    pub(crate) host_cache: SlotCache<Tok>,
+    pub(crate) cpu: Pool,
+    pub(crate) nic: Engine,
+    pub(crate) directory: Directory,
     /// Job slab; a job id is its slot index here.
-    jobs: Vec<Option<SimJob>>,
+    pub(crate) jobs: Vec<Option<SimJob>>,
     /// Recycled slots of `jobs`.
-    free_jobs: Vec<u32>,
-    jobs_in_flight: usize,
+    pub(crate) free_jobs: Vec<u32>,
+    pub(crate) jobs_in_flight: usize,
     /// Dense per-item host-fill table, indexed by item id.
-    host_fill: Vec<Option<HostFill>>,
-    pairs_done: u64,
-    loads: u64,
-    remote_fetches: u64,
-    retry_pending: bool,
+    pub(crate) host_fill: Vec<Option<HostFill>>,
+    pub(crate) pairs_done: u64,
+    pub(crate) loads: u64,
+    pub(crate) remote_fetches: u64,
+    /// Deterministic per-node stream for stage sampling. Per-node (not
+    /// global) so a node's draws are invariant under the shard count.
+    pub(crate) rng: Xoshiro256,
+    /// Out of reachable work; candidate for a window-boundary steal.
+    pub(crate) hungry: bool,
+    /// Virtual time `hungry` was last set (steal-cadence gate).
+    pub(crate) hungry_since: SimTime,
+    /// Bytes this node requested from central storage.
+    pub(crate) io_bytes: u64,
+    /// Bytes this node served to remote fetchers.
+    pub(crate) net_bytes: u64,
+    /// Latest pair completion on this node.
+    pub(crate) makespan_ns: SimTime,
 }
 
 impl SimNode {
     #[inline]
-    fn job(&self, id: u64) -> Option<&SimJob> {
+    pub(crate) fn job(&self, id: u64) -> Option<&SimJob> {
         self.jobs[id as usize].as_ref()
     }
 
     #[inline]
-    fn job_mut(&mut self, id: u64) -> Option<&mut SimJob> {
+    pub(crate) fn job_mut(&mut self, id: u64) -> Option<&mut SimJob> {
         self.jobs[id as usize].as_mut()
     }
 
-    fn alloc_job(&mut self, job: SimJob) -> u64 {
+    pub(crate) fn alloc_job(&mut self, job: SimJob) -> u64 {
         match self.free_jobs.pop() {
             Some(slot) => {
                 debug_assert!(self.jobs[slot as usize].is_none());
@@ -349,27 +390,27 @@ impl SimNode {
         }
     }
 
-    fn free_job(&mut self, id: u64) -> SimJob {
+    pub(crate) fn free_job(&mut self, id: u64) -> SimJob {
         let job = self.jobs[id as usize].take().expect("job");
         self.free_jobs.push(id as u32);
         job
     }
 
     /// Live jobs (diagnostics; the slab may hold free slots).
-    fn live_jobs(&self) -> usize {
+    pub(crate) fn live_jobs(&self) -> usize {
         self.jobs.iter().flatten().count()
     }
 }
 
 #[derive(Debug)]
-enum Msg {
+pub(crate) enum Msg {
     Dir(DirectoryMsg),
     Fetch { item: u64, requester: usize },
     FetchReply { item: u64, ok: bool },
 }
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     Pull { node: usize },
     IoDone { node: usize, item: u64 },
     ParseDone { node: usize, item: u64 },
@@ -381,859 +422,39 @@ enum Ev {
     ResultDone { node: usize, job: u64 },
     PostDone { node: usize, job: u64 },
     Net { to: usize, from: usize, msg: Msg },
-    StealRetry { node: usize },
 }
 
-/// Runs one simulation to completion on the configured scheduler.
+/// Runs one simulation to completion on the configured scheduler and
+/// shard count (see `crate::shard` for the engine).
 pub fn simulate(config: &SimConfig) -> SimResult {
     match config.scheduler {
-        Scheduler::SlabHeap => Sim::new(config, SlabEventQueue::new()).run(),
-        Scheduler::Calendar => Sim::new(config, CalendarQueue::new()).run(),
+        Scheduler::SlabHeap => shard::run::<SlabEventQueue<Ev>>(config),
+        Scheduler::Calendar => shard::run::<CalendarQueue<Ev>>(config),
     }
 }
 
 /// Workload stage-time distributions, resolved once at construction so the
 /// per-event handlers sample through `&Dist` with zero clones.
-struct StageDists {
-    parse: Dist,
-    preprocess: Option<Dist>,
-    compare: Dist,
-    postprocess: Dist,
+pub(crate) struct StageDists {
+    pub(crate) parse: Dist,
+    pub(crate) preprocess: Option<Dist>,
+    pub(crate) compare: Dist,
+    pub(crate) postprocess: Dist,
 }
 
 /// Samples a stage duration in nanoseconds. A free function over disjoint
-/// borrows (`&mut rng`, `&Dist`) — the shape that lets callers sample from
-/// `self.stages` while mutating `self.rng` without cloning the
-/// distribution.
+/// borrows (`&mut rng`, `&Dist`) — the shape that lets handlers sample
+/// from shared stage tables while mutating a node's RNG without cloning
+/// the distribution.
 #[inline]
-fn sample_ns(rng: &mut Xoshiro256, dist: &Dist) -> u64 {
+pub(crate) fn sample_ns(rng: &mut Xoshiro256, dist: &Dist) -> u64 {
     secs_to_ns(dist.sample(rng))
 }
 
 /// Time to move `bytes` at `bytes_per_sec`.
 #[inline]
-fn transfer_ns(bytes: u64, bytes_per_sec: f64) -> u64 {
+pub(crate) fn transfer_ns(bytes: u64, bytes_per_sec: f64) -> u64 {
     secs_to_ns(bytes as f64 / bytes_per_sec)
-}
-
-struct Sim<'a, Q: EventQueue<Ev>> {
-    cfg: &'a SimConfig,
-    stages: StageDists,
-    queue: Q,
-    nodes: Vec<SimNode>,
-    storage: Engine,
-    rng: Xoshiro256,
-    wakes: VecDeque<(usize, Tok)>,
-    /// Scratch buffer for steal-victim selection (avoids a per-steal alloc).
-    victims: Vec<usize>,
-    total_pairs: u64,
-    pairs_started: u64,
-    pairs_done: u64,
-    io_bytes: u64,
-    net_bytes: u64,
-    steals: u64,
-    makespan_ns: SimTime,
-    ev_counts: [u64; 12],
-    completions: Option<ThroughputSeries>,
-    gpu_gid_base: Vec<usize>,
-}
-
-impl<'a, Q: EventQueue<Ev>> Sim<'a, Q> {
-    fn new(cfg: &'a SimConfig, queue: Q) -> Self {
-        assert!(!cfg.nodes.is_empty(), "cluster needs nodes");
-        let n = cfg.workload.items;
-        let p = cfg.nodes.len();
-        let mut gpu_gid_base = Vec::with_capacity(p);
-        let mut base = 0usize;
-        let nodes: Vec<SimNode> = cfg
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(rank, nc)| {
-                gpu_gid_base.push(base);
-                base += nc.gpus.len();
-                // Slots beyond the item count never get used: clamp to keep
-                // huge Fig 9 sweeps cheap without changing behaviour.
-                let dev_slots = nc.device_slots.min(n as usize).max(2);
-                let host_slots = nc.host_slots.min(n as usize).max(2);
-                SimNode {
-                    deque: TaskDeque::new(),
-                    pending: VecDeque::new(),
-                    gpus: nc
-                        .gpus
-                        .iter()
-                        .map(|profile| SimGpu {
-                            rates: GpuRates::from(profile),
-                            cache: SlotCache::with_item_space(dev_slots, n as usize),
-                            compute: Engine::new(),
-                            h2d: Engine::new(),
-                            d2h: Engine::new(),
-                            in_flight: 0,
-                            pre_busy_ns: 0,
-                            cmp_busy_ns: 0,
-                            fills: vec![DevFill::default(); n as usize],
-                        })
-                        .collect(),
-                    host_cache: SlotCache::with_item_space(host_slots, n as usize),
-                    cpu: Pool::new(cfg.cpu_threads),
-                    nic: Engine::new(),
-                    directory: Directory::new(rank, p, cfg.hops),
-                    jobs: Vec::new(),
-                    free_jobs: Vec::new(),
-                    jobs_in_flight: 0,
-                    host_fill: vec![None; n as usize],
-                    pairs_done: 0,
-                    loads: 0,
-                    remote_fetches: 0,
-                    retry_pending: false,
-                }
-            })
-            .collect();
-        Self {
-            cfg,
-            stages: StageDists {
-                parse: cfg.workload.parse.clone(),
-                preprocess: cfg.workload.preprocess.clone(),
-                compare: cfg.workload.compare.clone(),
-                postprocess: cfg.workload.postprocess.clone(),
-            },
-            queue,
-            nodes,
-            storage: Engine::new(),
-            rng: Xoshiro256::seed_from(cfg.seed),
-            wakes: VecDeque::new(),
-            victims: Vec::with_capacity(p),
-            total_pairs: n * n.saturating_sub(1) / 2,
-            pairs_started: 0,
-            pairs_done: 0,
-            io_bytes: 0,
-            net_bytes: 0,
-            steals: 0,
-            makespan_ns: 0,
-            ev_counts: [0; 12],
-            completions: cfg.record_completions.then(ThroughputSeries::new),
-            gpu_gid_base,
-        }
-    }
-
-    fn run(mut self) -> SimResult {
-        // The master node spawns the root task (§4.2).
-        if self.total_pairs > 0 {
-            self.nodes[0]
-                .deque
-                .push(Block::root(self.cfg.workload.items));
-        }
-        for node in 0..self.nodes.len() {
-            self.queue.schedule_at(0, Ev::Pull { node });
-        }
-        let mut last_progress = (0u64, 0u64); // (pairs_done, virtual ns)
-        while self.pairs_done < self.total_pairs {
-            // Steal retries keep the queue non-empty forever, so a stuck
-            // cluster shows up as virtual time racing ahead without pair
-            // completions — treat an hour of virtual silence as a deadlock.
-            if self.pairs_done != last_progress.0 {
-                last_progress = (self.pairs_done, self.queue.now());
-            } else if self.queue.now() > last_progress.1 + 300_000_000_000 {
-                self.stall_panic("no progress for 5min of virtual time");
-            }
-            let Some((_, ev)) = self.queue.pop() else {
-                self.stall_panic("event queue drained");
-            };
-            self.handle(ev);
-            self.drain_wakes();
-            #[cfg(debug_assertions)]
-            self.validate();
-        }
-        self.finish()
-    }
-
-    /// Debug-build cross-check: every device-cache read lease is owned by
-    /// exactly one job lease, every host lease by one in-flight H2D copy.
-    #[cfg(debug_assertions)]
-    fn validate(&self) {
-        // Dense per-slot tables (slot indices are 0..capacity): no hashed
-        // collections anywhere in the simulator, even debug-only ones.
-        for (ni, node) in self.nodes.iter().enumerate() {
-            let mut dev_readers: Vec<Vec<u32>> = node
-                .gpus
-                .iter()
-                .map(|g| vec![0u32; g.cache.capacity()])
-                .collect();
-            for job in node.jobs.iter().flatten() {
-                for slot in [job.left, job.right].into_iter().flatten() {
-                    dev_readers[job.gpu][slot] += 1;
-                }
-            }
-            for (g, gpu) in node.gpus.iter().enumerate() {
-                for (slot, &expected) in dev_readers[g].iter().enumerate() {
-                    assert_eq!(
-                        gpu.cache.readers(slot),
-                        expected,
-                        "node {ni} gpu {g} slot {slot}: reader-count leak"
-                    );
-                }
-                gpu.cache
-                    .check_invariants()
-                    .expect("device cache invariants");
-            }
-            let mut host_readers = vec![0u32; node.host_cache.capacity()];
-            for gpu in &node.gpus {
-                for hslot in gpu.fills.iter().filter_map(|f| f.h2d_lease) {
-                    host_readers[hslot] += 1;
-                }
-            }
-            for (slot, &expected) in host_readers.iter().enumerate() {
-                assert_eq!(
-                    node.host_cache.readers(slot),
-                    expected,
-                    "node {ni} host slot {slot}: reader-count leak"
-                );
-            }
-            node.host_cache
-                .check_invariants()
-                .expect("host cache invariants");
-        }
-    }
-
-    fn stall_panic(&self, why: &str) -> ! {
-        let mut diag = String::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            let dev_fills: usize = node
-                .gpus
-                .iter()
-                .map(|g| g.fills.iter().filter(|f| f.dev_slot.is_some()).count())
-                .sum();
-            let h2d_leases: usize = node
-                .gpus
-                .iter()
-                .map(|g| g.fills.iter().filter(|f| f.h2d_lease.is_some()).count())
-                .sum();
-            diag.push_str(&format!(
-                "\n node {i}: jobs={} inflight={} pending={} deque={} hostfills={} devfills={} \
-                 h2d_leases={} host(cap_waiters={} evictable={} occ={}/{})",
-                node.live_jobs(),
-                node.jobs_in_flight,
-                node.pending.len(),
-                node.deque.len(),
-                node.host_fill.iter().flatten().count(),
-                dev_fills,
-                h2d_leases,
-                node.host_cache.parked_capacity_waiters(),
-                node.host_cache.evictable(),
-                node.host_cache.occupied(),
-                node.host_cache.capacity(),
-            ));
-            for (g, gpu) in node.gpus.iter().enumerate() {
-                diag.push_str(&format!(
-                    "\n   gpu {g}: inflight={} cap_waiters={} evictable={} occ={}/{} resident={:?}",
-                    gpu.in_flight,
-                    gpu.cache.parked_capacity_waiters(),
-                    gpu.cache.evictable(),
-                    gpu.cache.occupied(),
-                    gpu.cache.capacity(),
-                    gpu.cache.resident_items(),
-                ));
-            }
-            if i == 0 {
-                for (id, j) in node.jobs.iter().enumerate() {
-                    let Some(j) = j else { continue };
-                    diag.push_str(&format!(
-                        "\n   job {id}: pair=({},{}) left={:?} right={:?} stalled={:?} comparing={}",
-                        j.pair.left, j.pair.right, j.left, j.right, j.stalled, j.comparing
-                    ));
-                }
-                let dev_fill_keys: Vec<(usize, usize)> = node
-                    .gpus
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(g, gpu)| {
-                        gpu.fills
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, f)| f.dev_slot.is_some())
-                            .map(move |(item, _)| (g, item))
-                    })
-                    .collect();
-                let waiter_keys: Vec<(usize, usize)> = node
-                    .gpus
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(g, gpu)| {
-                        gpu.fills
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, f)| !f.waiters.is_empty())
-                            .map(move |(item, _)| (g, item))
-                    })
-                    .collect();
-                diag.push_str(&format!(
-                    "\n   dev_fills={dev_fill_keys:?} fill_waiter_keys={waiter_keys:?}"
-                ));
-            }
-        }
-        panic!(
-            "simulation stalled ({why}): {}/{} pairs done (started {}){diag}\n              event counts [pull,io,parse,staging,pre,writeback,fillcopy,cmp,res,post,net,steal]: {:?}\n              queue len {}",
-            self.pairs_done,
-            self.total_pairs,
-            self.pairs_started,
-            self.ev_counts,
-            self.queue.len(),
-        );
-    }
-
-    fn finish(self) -> SimResult {
-        let mut r = SimResult {
-            makespan: ns_to_secs(self.makespan_ns),
-            items: self.cfg.workload.items,
-            pairs: self.pairs_done,
-            loads: self.nodes.iter().map(|n| n.loads).sum(),
-            remote_fetches: self.nodes.iter().map(|n| n.remote_fetches).sum(),
-            io_bytes: self.io_bytes,
-            net_bytes: self.net_bytes,
-            steals: self.steals,
-            busy_preprocess: 0.0,
-            busy_compare: 0.0,
-            busy_h2d: 0.0,
-            busy_d2h: 0.0,
-            busy_cpu: 0.0,
-            busy_io: ns_to_secs(self.storage.busy_ns()),
-            device_cache: CacheStats::default(),
-            host_cache: CacheStats::default(),
-            directory: DirectoryStats::default(),
-            pairs_per_node: self.nodes.iter().map(|n| n.pairs_done).collect(),
-            completions: self.completions,
-        };
-        for node in &self.nodes {
-            r.busy_cpu += ns_to_secs(node.cpu.busy_ns());
-            r.host_cache.merge(&node.host_cache.stats());
-            r.directory.merge(node.directory.stats());
-            for gpu in &node.gpus {
-                r.busy_preprocess += ns_to_secs(gpu.pre_busy_ns);
-                r.busy_compare += ns_to_secs(gpu.cmp_busy_ns);
-                r.busy_h2d += ns_to_secs(gpu.h2d.busy_ns());
-                r.busy_d2h += ns_to_secs(gpu.d2h.busy_ns());
-                r.device_cache.merge(&gpu.cache.stats());
-            }
-        }
-        r
-    }
-
-    fn handle(&mut self, ev: Ev) {
-        let idx = match &ev {
-            Ev::Pull { .. } => 0,
-            Ev::IoDone { .. } => 1,
-            Ev::ParseDone { .. } => 2,
-            Ev::StagingDone { .. } => 3,
-            Ev::PreprocessDone { .. } => 4,
-            Ev::WritebackDone { .. } => 5,
-            Ev::FillCopyDone { .. } => 6,
-            Ev::CompareDone { .. } => 7,
-            Ev::ResultDone { .. } => 8,
-            Ev::PostDone { .. } => 9,
-            Ev::Net { .. } => 10,
-            Ev::StealRetry { .. } => 11,
-        };
-        self.ev_counts[idx] += 1;
-        match ev {
-            Ev::Pull { node } => self.pull_work(node),
-            Ev::IoDone { node, item } => self.on_io_done(node, item),
-            Ev::ParseDone { node, item } => self.on_parse_done(node, item),
-            Ev::StagingDone { node, gpu, item } => self.schedule_preprocess(node, gpu, item),
-            Ev::PreprocessDone { node, gpu, item } => self.on_preprocess_done(node, gpu, item),
-            Ev::WritebackDone { node, item } => self.publish_host(node, item),
-            Ev::FillCopyDone { node, gpu, item } => self.on_fill_copy_done(node, gpu, item),
-            Ev::CompareDone { node, job } => self.on_compare_done(node, job),
-            Ev::ResultDone { node, job } => self.on_result_done(node, job),
-            Ev::PostDone { node, job } => self.on_post_done(node, job),
-            Ev::Net { to, from, msg } => self.on_net(to, from, msg),
-            Ev::StealRetry { node } => {
-                self.nodes[node].retry_pending = false;
-                self.pull_work(node);
-            }
-        }
-    }
-
-    // ---- work acquisition ------------------------------------------------
-
-    /// Per-GPU in-flight cap: each job pins up to two device slots, so
-    /// keeping jobs ≤ slots/2 per GPU guarantees every in-flight job's
-    /// leases fit simultaneously — the counting argument that makes the
-    /// pipeline deadlock- and livelock-free even for tiny caches. (The
-    /// paper relies on generous slot counts for the same property; see
-    /// §4.1.1's note that waiting on WRITE slots is unproblematic "because
-    /// Rocket ensures that a sufficient number of concurrent jobs are in
-    /// progress".)
-    fn gpu_cap(&self, node: usize, gpu: usize) -> usize {
-        (self.nodes[node].gpus[gpu].cache.capacity() / 2).max(1)
-    }
-
-    fn has_gpu_slack(&self, node: usize) -> bool {
-        (0..self.nodes[node].gpus.len())
-            .any(|g| self.nodes[node].gpus[g].in_flight < self.gpu_cap(node, g))
-    }
-
-    fn pull_work(&mut self, node: usize) {
-        loop {
-            if self.nodes[node].jobs_in_flight >= self.cfg.job_limit || !self.has_gpu_slack(node) {
-                return;
-            }
-            if let Some(pair) = self.next_pair(node) {
-                self.start_job(node, pair);
-            } else {
-                // No work reachable right now; retry while undone pairs may
-                // still show up in stealable form.
-                if self.pairs_started < self.total_pairs && !self.nodes[node].retry_pending {
-                    self.nodes[node].retry_pending = true;
-                    self.queue
-                        .schedule_in(secs_to_ns(500e-6), Ev::StealRetry { node });
-                }
-                return;
-            }
-        }
-    }
-
-    fn next_pair(&mut self, node: usize) -> Option<Pair> {
-        loop {
-            if let Some(pair) = self.nodes[node].pending.pop_front() {
-                return Some(pair);
-            }
-            // Depth-first descent into the quadrant tree.
-            if let Some(block) = self.nodes[node].deque.pop() {
-                if block.count() <= self.cfg.leaf_pairs {
-                    self.nodes[node].pending.extend(block.pairs());
-                } else {
-                    for child in block.split() {
-                        self.nodes[node].deque.push(child);
-                    }
-                }
-                continue;
-            }
-            // Steal the highest-level block from a random busy peer.
-            self.victims.clear();
-            for v in 0..self.nodes.len() {
-                if v != node && !self.nodes[v].deque.is_empty() {
-                    self.victims.push(v);
-                }
-            }
-            if self.victims.is_empty() {
-                return None;
-            }
-            let victim = *self.rng.pick(&self.victims);
-            let block = self.nodes[victim].deque.steal().expect("victim non-empty");
-            self.steals += 1;
-            self.nodes[node].deque.push(block);
-        }
-    }
-
-    fn start_job(&mut self, node: usize, pair: Pair) {
-        self.pairs_started += 1;
-        // Bind to the least-loaded GPU of the node (per-GPU workers) that
-        // still has lease headroom.
-        let gpu = (0..self.nodes[node].gpus.len())
-            .filter(|&g| self.nodes[node].gpus[g].in_flight < self.gpu_cap(node, g))
-            .min_by_key(|&g| self.nodes[node].gpus[g].in_flight)
-            .expect("caller checked gpu slack");
-        self.nodes[node].gpus[gpu].in_flight += 1;
-        self.nodes[node].jobs_in_flight += 1;
-        let id = self.nodes[node].alloc_job(SimJob {
-            pair,
-            gpu,
-            left: None,
-            right: None,
-            stalled: None,
-            comparing: false,
-        });
-        self.try_acquire(node, id);
-    }
-
-    // ---- job lease acquisition (mirrors the threaded conductor) ----------
-
-    fn try_acquire(&mut self, node: usize, id: u64) {
-        let Some(job) = self.nodes[node].job(id) else {
-            return;
-        };
-        if job.comparing {
-            return;
-        }
-        let (pair, gpu, stalled) = (job.pair, job.gpu, job.stalled);
-        // Acquire the previously stalled item first (see `SimJob::stalled`).
-        let mut order = [(0usize, pair.left), (1usize, pair.right)];
-        if stalled == Some(pair.right) {
-            order.swap(0, 1);
-        }
-        for (which, item) in order {
-            let held = {
-                let job = self.nodes[node].job(id).expect("job");
-                if which == 0 {
-                    job.left
-                } else {
-                    job.right
-                }
-            };
-            if held.is_some() {
-                continue;
-            }
-            match self.nodes[node].gpus[gpu].cache.get(item, || Tok::Job(id)) {
-                Lookup::Hit(slot) => {
-                    let job = self.nodes[node].job_mut(id).expect("job");
-                    if which == 0 {
-                        job.left = Some(slot);
-                    } else {
-                        job.right = Some(slot);
-                    }
-                }
-                Lookup::Pending => return,
-                Lookup::MustLoad(slot) => {
-                    let fill = &mut self.nodes[node].gpus[gpu].fills[item as usize];
-                    fill.dev_slot = Some(slot);
-                    fill.waiters.push(Tok::Job(id));
-                    self.continue_dev_fill(node, gpu, item);
-                    return;
-                }
-                Lookup::Busy => {
-                    self.nodes[node].job_mut(id).expect("job").stalled = Some(item);
-                    self.release_leases(node, id);
-                    return;
-                }
-            }
-        }
-        let job = self.nodes[node].job_mut(id).expect("job");
-        job.stalled = None;
-        job.comparing = true;
-        self.schedule_compare(node, id);
-    }
-
-    fn release_leases(&mut self, node: usize, id: u64) {
-        let Some(job) = self.nodes[node].job_mut(id) else {
-            return;
-        };
-        let gpu = job.gpu;
-        let leases = [job.left.take(), job.right.take()];
-        for slot in leases.into_iter().flatten() {
-            if let Some(tok) = self.nodes[node].gpus[gpu].cache.release(slot) {
-                self.wake(node, tok);
-            }
-        }
-    }
-
-    /// Queues a wake-up. Wakes are drained iteratively after each event:
-    /// recursion here would overflow the stack on long waiter chains.
-    fn wake(&mut self, node: usize, tok: Tok) {
-        self.wakes.push_back((node, tok));
-    }
-
-    fn drain_wakes(&mut self) {
-        while let Some((node, tok)) = self.wakes.pop_front() {
-            match tok {
-                Tok::Job(id) => self.try_acquire(node, id),
-                Tok::DevFill { gpu, item } => self.continue_dev_fill(node, gpu, item),
-            }
-        }
-    }
-
-    // ---- compare / result / post ------------------------------------------
-
-    fn schedule_compare(&mut self, node: usize, id: u64) {
-        let gpu = self.nodes[node].job(id).expect("job").gpu;
-        let base = sample_ns(&mut self.rng, &self.stages.compare);
-        let now = self.queue.now();
-        let g = &mut self.nodes[node].gpus[gpu];
-        let dur = (base as f64 / g.rates.compute_scale) as u64;
-        let done = g.compute.submit(now, dur);
-        g.cmp_busy_ns += dur;
-        self.queue
-            .schedule_at(done, Ev::CompareDone { node, job: id });
-    }
-
-    fn on_compare_done(&mut self, node: usize, id: u64) {
-        // Leases can be dropped as soon as the kernel finishes.
-        self.release_leases(node, id);
-        let gpu = self.nodes[node].job(id).expect("job").gpu;
-        let now = self.queue.now();
-        let g = &mut self.nodes[node].gpus[gpu];
-        let dur = transfer_ns(
-            self.cfg.workload.item_bytes.min(1024),
-            g.rates.d2h_bytes_per_sec,
-        );
-        let done = g.d2h.submit(now, dur);
-        self.queue
-            .schedule_at(done, Ev::ResultDone { node, job: id });
-    }
-
-    fn on_result_done(&mut self, node: usize, id: u64) {
-        let dur = sample_ns(&mut self.rng, &self.stages.postprocess);
-        let now = self.queue.now();
-        let done = self.nodes[node].cpu.submit(now, dur);
-        self.queue.schedule_at(done, Ev::PostDone { node, job: id });
-    }
-
-    fn on_post_done(&mut self, node: usize, id: u64) {
-        let job = self.nodes[node].free_job(id);
-        self.nodes[node].gpus[job.gpu].in_flight -= 1;
-        self.nodes[node].jobs_in_flight -= 1;
-        self.nodes[node].pairs_done += 1;
-        self.pairs_done += 1;
-        let now = self.queue.now();
-        self.makespan_ns = self.makespan_ns.max(now);
-        if let Some(series) = &mut self.completions {
-            let gid = self.gpu_gid_base[node] + job.gpu;
-            series.record(gid as u32, now);
-        }
-        self.pull_work(node);
-    }
-
-    // ---- device fill -------------------------------------------------------
-
-    fn continue_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
-        let fill = &self.nodes[node].gpus[gpu].fills[item as usize];
-        if fill.dev_slot.is_none() {
-            return;
-        }
-        // An H2D copy is already filling this slot: a second wake (e.g. a
-        // parked token plus the origin-continuation of `publish_host`)
-        // must not take a second host lease.
-        if fill.h2d_lease.is_some() {
-            return;
-        }
-        match self.nodes[node]
-            .host_cache
-            .get(item, || Tok::DevFill { gpu, item })
-        {
-            Lookup::Hit(hslot) => {
-                let now = self.queue.now();
-                let g = &mut self.nodes[node].gpus[gpu];
-                g.fills[item as usize].h2d_lease = Some(hslot);
-                let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.h2d_bytes_per_sec);
-                let done = g.h2d.submit(now, dur);
-                self.queue
-                    .schedule_at(done, Ev::FillCopyDone { node, gpu, item });
-            }
-            Lookup::Pending | Lookup::Busy => {}
-            Lookup::MustLoad(hslot) => {
-                self.nodes[node].host_fill[item as usize] = Some(HostFill {
-                    origin_gpu: gpu as u32,
-                    slot: hslot,
-                });
-                if self.cfg.distributed_cache && self.nodes.len() > 1 {
-                    let (to, msg) = self.nodes[node].directory.begin_lookup(item);
-                    self.send(node, to, Msg::Dir(msg));
-                } else {
-                    self.local_load(node, item);
-                }
-            }
-        }
-    }
-
-    fn on_fill_copy_done(&mut self, node: usize, gpu: usize, item: u64) {
-        if let Some(hslot) = self.nodes[node].gpus[gpu].fills[item as usize]
-            .h2d_lease
-            .take()
-        {
-            if let Some(tok) = self.nodes[node].host_cache.release(hslot) {
-                self.wake(node, tok);
-            }
-        }
-        self.complete_dev_fill(node, gpu, item);
-    }
-
-    fn complete_dev_fill(&mut self, node: usize, gpu: usize, item: u64) {
-        let fill = &mut self.nodes[node].gpus[gpu].fills[item as usize];
-        let Some(dslot) = fill.dev_slot.take() else {
-            return;
-        };
-        let ws = std::mem::take(&mut fill.waiters);
-        let waiters = self.nodes[node].gpus[gpu].cache.publish(dslot);
-        for w in waiters {
-            self.wake(node, w);
-        }
-        for w in ws {
-            self.wake(node, w);
-        }
-        // The published slot is evictable until a reader takes it: that is
-        // fresh capacity, so a parked capacity waiter must get a retry.
-        if let Some(w) = self.nodes[node].gpus[gpu].cache.pop_capacity_waiter() {
-            self.wake(node, w);
-        }
-    }
-
-    // ---- host fill / load pipeline ------------------------------------------
-
-    fn local_load(&mut self, node: usize, item: u64) {
-        let bytes = self.cfg.workload.file_bytes;
-        self.io_bytes += bytes;
-        let service = secs_to_ns(bytes as f64 / self.cfg.storage_bandwidth);
-        let latency = secs_to_ns(self.cfg.storage_latency);
-        let now = self.queue.now();
-        let done = self.storage.submit(now, service) + latency;
-        self.queue.schedule_at(done, Ev::IoDone { node, item });
-    }
-
-    fn on_io_done(&mut self, node: usize, item: u64) {
-        let dur = sample_ns(&mut self.rng, &self.stages.parse);
-        let now = self.queue.now();
-        let done = self.nodes[node].cpu.submit(now, dur);
-        self.queue.schedule_at(done, Ev::ParseDone { node, item });
-    }
-
-    fn on_parse_done(&mut self, node: usize, item: u64) {
-        let Some(fill) = self.nodes[node].host_fill[item as usize] else {
-            return;
-        };
-        let gpu = fill.origin_gpu as usize;
-        if self.stages.preprocess.is_some() {
-            // Stage parsed bytes to the device, pre-process there, write the
-            // item back to the host slot (Fig 4's ℓ path).
-            let now = self.queue.now();
-            let g = &mut self.nodes[node].gpus[gpu];
-            let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.h2d_bytes_per_sec);
-            let done = g.h2d.submit(now, dur);
-            self.queue
-                .schedule_at(done, Ev::StagingDone { node, gpu, item });
-        } else {
-            // No GPU pre-processing: the parsed bytes are the item.
-            self.nodes[node].loads += 1;
-            self.publish_host(node, item);
-        }
-    }
-
-    fn schedule_preprocess(&mut self, node: usize, gpu: usize, item: u64) {
-        let base = sample_ns(
-            &mut self.rng,
-            self.stages.preprocess.as_ref().expect("preprocess stage"),
-        );
-        let now = self.queue.now();
-        let g = &mut self.nodes[node].gpus[gpu];
-        let dur = (base as f64 / g.rates.compute_scale) as u64;
-        let done = g.compute.submit(now, dur);
-        g.pre_busy_ns += dur;
-        self.queue
-            .schedule_at(done, Ev::PreprocessDone { node, gpu, item });
-    }
-
-    fn on_preprocess_done(&mut self, node: usize, gpu: usize, item: u64) {
-        self.nodes[node].loads += 1;
-        // Publish the device slot first (jobs can compare immediately), then
-        // write back to the host slot.
-        self.complete_dev_fill(node, gpu, item);
-        let now = self.queue.now();
-        let g = &mut self.nodes[node].gpus[gpu];
-        let dur = transfer_ns(self.cfg.workload.item_bytes, g.rates.d2h_bytes_per_sec);
-        let done = g.d2h.submit(now, dur);
-        self.queue
-            .schedule_at(done, Ev::WritebackDone { node, item });
-    }
-
-    fn publish_host(&mut self, node: usize, item: u64) {
-        let Some(fill) = self.nodes[node].host_fill[item as usize].take() else {
-            return;
-        };
-        let origin_gpu = fill.origin_gpu as usize;
-        let waiters = self.nodes[node].host_cache.publish(fill.slot);
-        for w in waiters {
-            self.wake(node, w);
-        }
-        // Fresh capacity (see complete_dev_fill): retry one parked waiter.
-        if let Some(w) = self.nodes[node].host_cache.pop_capacity_waiter() {
-            self.wake(node, w);
-        }
-        if self.nodes[node].gpus[origin_gpu].fills[item as usize]
-            .dev_slot
-            .is_some()
-        {
-            self.continue_dev_fill(node, origin_gpu, item);
-        }
-    }
-
-    // ---- distributed cache ----------------------------------------------------
-
-    fn send(&mut self, from: usize, to: usize, msg: Msg) {
-        let latency = secs_to_ns(self.cfg.net_latency);
-        self.queue.schedule_in(latency, Ev::Net { to, from, msg });
-    }
-
-    fn on_net(&mut self, to: usize, from: usize, msg: Msg) {
-        match msg {
-            Msg::Dir(dir_msg) => {
-                let lookup_item = match &dir_msg {
-                    DirectoryMsg::Found { item, .. } | DirectoryMsg::NotFound { item } => {
-                        Some(*item)
-                    }
-                    _ => None,
-                };
-                let node = &mut self.nodes[to];
-                let host_cache = &node.host_cache;
-                let (outgoing, resolution) = node
-                    .directory
-                    .handle(dir_msg, |i| host_cache.contains_ready(i));
-                for (peer, m) in outgoing {
-                    self.send(to, peer, Msg::Dir(m));
-                }
-                match resolution {
-                    Resolution::InFlight => {}
-                    Resolution::Found { holder, .. } => {
-                        let item = lookup_item.expect("found carries item");
-                        if self.nodes[to].host_fill[item as usize].is_some() {
-                            self.send(
-                                to,
-                                holder,
-                                Msg::Fetch {
-                                    item,
-                                    requester: to,
-                                },
-                            );
-                        }
-                    }
-                    Resolution::LoadLocally => {
-                        let item = lookup_item.expect("not-found carries item");
-                        if self.nodes[to].host_fill[item as usize].is_some() {
-                            self.local_load(to, item);
-                        }
-                    }
-                }
-            }
-            Msg::Fetch { item, requester } => {
-                // Serve from the host cache if still resident; transfer
-                // occupies this node's NIC.
-                let served = self.nodes[to].host_cache.try_read(item);
-                match served {
-                    Some(hslot) => {
-                        if let Some(tok) = self.nodes[to].host_cache.release(hslot) {
-                            self.wake(to, tok);
-                        }
-                        let bytes = self.cfg.workload.item_bytes;
-                        self.net_bytes += bytes;
-                        let dur = secs_to_ns(bytes as f64 / self.cfg.net_bandwidth);
-                        let now = self.queue.now();
-                        let done =
-                            self.nodes[to].nic.submit(now, dur) + secs_to_ns(self.cfg.net_latency);
-                        self.queue.schedule_at(
-                            done,
-                            Ev::Net {
-                                to: requester,
-                                from: to,
-                                msg: Msg::FetchReply { item, ok: true },
-                            },
-                        );
-                    }
-                    None => {
-                        self.send(to, requester, Msg::FetchReply { item, ok: false });
-                    }
-                }
-            }
-            Msg::FetchReply { item, ok } => {
-                let _ = from;
-                if self.nodes[to].host_fill[item as usize].is_none() {
-                    return;
-                }
-                if ok {
-                    self.nodes[to].remote_fetches += 1;
-                    self.publish_host(to, item);
-                } else {
-                    self.local_load(to, item);
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1268,6 +489,7 @@ mod tests {
         let r = simulate(&cfg);
         assert_eq!(r.pairs, 190);
         assert!(r.makespan > 0.0);
+        assert!(r.windows > 0);
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub trait EventQueue<E> {
     /// past-dated events).
     fn schedule_at(&mut self, at: SimTime, event: E);
 
+    /// Schedules `event` at `at` under an explicit tie-break priority:
+    /// events at equal times pop in ascending `prio` order instead of
+    /// insertion order. Callers that need an ordering independent of
+    /// *when* an event was inserted (the sharded engine derives `prio`
+    /// from stable simulation state) use this; `prio` values should be
+    /// unique per timestamp, since equal `(at, prio)` keys fall back to
+    /// an insertion-dependent tie-break.
+    fn schedule_keyed(&mut self, at: SimTime, prio: u64, event: E);
+
     /// Schedules `event` `delay` nanoseconds from now.
     fn schedule_in(&mut self, delay: SimTime, event: E) {
         self.schedule_at(self.now().saturating_add(delay), event);
@@ -41,6 +50,11 @@ pub trait EventQueue<E> {
 
     /// Pops the next event, advancing virtual time.
     fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Timestamp of the next event without popping it (and without
+    /// advancing virtual time). Takes `&mut self` so implementations may
+    /// reposition internal cursors; repeated calls are idempotent.
+    fn peek_time(&mut self) -> Option<SimTime>;
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -88,9 +102,9 @@ fn park_payload<E>(slab: &mut Vec<Option<E>>, free: &mut Vec<u32>, event: E) -> 
 /// insertion, while the binary heap orders only compact
 /// `(SimTime, seq, slot)` keys (24 bytes, `Copy`). Heap sift operations
 /// therefore compare and move small integer triples instead of full event
-/// payloads. The slab slot index participates in the key only as an inert
-/// third component (a given `seq` is unique, so it never actually decides
-/// an ordering).
+/// payloads. The slab
+/// slot index participates in the key only as an inert third component (a
+/// given `seq` is unique, so it never actually decides an ordering).
 #[derive(Debug)]
 pub struct SlabEventQueue<E> {
     /// Min-heap over `(time, seq, slot)`; payloads live in `slab`.
@@ -128,10 +142,15 @@ impl<E> EventQueue<E> for SlabEventQueue<E> {
     }
 
     fn schedule_at(&mut self, at: SimTime, event: E) {
+        let prio = self.seq;
+        self.seq += 1;
+        self.schedule_keyed(at, prio, event);
+    }
+
+    fn schedule_keyed(&mut self, at: SimTime, prio: u64, event: E) {
         let at = at.max(self.now);
         let slot = park_payload(&mut self.slab, &mut self.free, event);
-        self.heap.push(Reverse((at, self.seq, slot)));
-        self.seq += 1;
+        self.heap.push(Reverse((at, prio, slot)));
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -142,6 +161,10 @@ impl<E> EventQueue<E> for SlabEventQueue<E> {
         self.free.push(slot);
         self.now = at;
         Some((at, event))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|&Reverse((t, _, _))| t)
     }
 
     fn len(&self) -> usize {
@@ -272,6 +295,32 @@ impl<E> CalendarQueue<E> {
         let (t, _, _) = best.expect("seek on non-empty queue");
         self.align_to(t);
     }
+
+    /// Positions the scan cursor on the bucket holding the global minimum
+    /// key and returns that key without removing it. Idempotent: repeated
+    /// calls re-find the same key at the (already aligned) cursor.
+    fn position_min(&mut self) -> Option<(SimTime, u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut scanned = 0;
+        loop {
+            if let Some(&key) = self.buckets[self.cur].last() {
+                if key.0 < self.bucket_top {
+                    return Some(key);
+                }
+            }
+            self.cur = (self.cur + 1) & self.mask;
+            self.bucket_top += self.width;
+            scanned += 1;
+            if scanned > self.mask {
+                // A full day without a hit: every event lives in a later
+                // year. Jump straight to the earliest one.
+                self.seek_global_min();
+                scanned = 0;
+            }
+        }
+    }
 }
 
 impl<E> EventQueue<E> for CalendarQueue<E> {
@@ -280,10 +329,15 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
     }
 
     fn schedule_at(&mut self, at: SimTime, event: E) {
+        let prio = self.seq;
+        self.seq += 1;
+        self.schedule_keyed(at, prio, event);
+    }
+
+    fn schedule_keyed(&mut self, at: SimTime, prio: u64, event: E) {
         let at = at.max(self.now);
         let slot = park_payload(&mut self.slab, &mut self.free, event);
-        self.insert_key((at, self.seq, slot));
-        self.seq += 1;
+        self.insert_key((at, prio, slot));
         self.len += 1;
         // The scan cursor may sit far ahead of `now` (aligned to a
         // far-future minimum); a new event earlier than the cursor's
@@ -298,27 +352,8 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.len == 0 {
-            return None;
-        }
-        let mut scanned = 0;
-        let (at, slot) = loop {
-            if let Some(&(t, _, slot)) = self.buckets[self.cur].last() {
-                if t < self.bucket_top {
-                    self.buckets[self.cur].pop();
-                    break (t, slot);
-                }
-            }
-            self.cur = (self.cur + 1) & self.mask;
-            self.bucket_top += self.width;
-            scanned += 1;
-            if scanned > self.mask {
-                // A full day without a hit: every event lives in a later
-                // year. Jump straight to the earliest one.
-                self.seek_global_min();
-                scanned = 0;
-            }
-        };
+        let (at, _, slot) = self.position_min()?;
+        self.buckets[self.cur].pop();
         let event = self.slab[slot as usize]
             .take()
             .expect("calendar key without parked payload");
@@ -329,6 +364,10 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
             self.resize();
         }
         Some((at, event))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.position_min().map(|(t, _, _)| t)
     }
 
     fn len(&self) -> usize {
@@ -416,6 +455,67 @@ mod tests {
     #[test]
     fn calendar_semantics() {
         check_queue_semantics::<CalendarQueue<i64>>();
+    }
+
+    /// Keyed scheduling orders equal-time events by priority, not by
+    /// insertion order, and `peek_time` observes without consuming.
+    fn check_keyed_semantics<Q: EventQueue<i64> + Default>() {
+        // Reverse-priority insertion still pops in ascending prio order.
+        let mut q = Q::default();
+        q.schedule_keyed(10, 30, 3);
+        q.schedule_keyed(10, 10, 1);
+        q.schedule_keyed(10, 20, 2);
+        q.schedule_keyed(5, 99, 0);
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+
+        // peek_time is idempotent and pop confirms it.
+        let mut q = Q::default();
+        assert_eq!(q.peek_time(), None);
+        q.schedule_keyed(70, 1, 7);
+        q.schedule_keyed(40, 1, 4);
+        assert_eq!(q.peek_time(), Some(40));
+        assert_eq!(q.peek_time(), Some(40));
+        assert_eq!(q.now(), 0, "peek must not advance time");
+        assert_eq!(q.pop().unwrap(), (40, 4));
+        assert_eq!(q.peek_time(), Some(70));
+        // Scheduling an earlier event after a peek is still observed.
+        q.schedule_keyed(50, 1, 5);
+        assert_eq!(q.peek_time(), Some(50));
+        assert_eq!(q.pop().unwrap(), (50, 5));
+        assert_eq!(q.pop().unwrap(), (70, 7));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn slab_heap_keyed_semantics() {
+        check_keyed_semantics::<SlabEventQueue<i64>>();
+    }
+
+    #[test]
+    fn calendar_keyed_semantics() {
+        check_keyed_semantics::<CalendarQueue<i64>>();
+    }
+
+    #[test]
+    fn keyed_order_identical_across_implementations() {
+        let mut lcg: u64 = 0xBADC0FFEE;
+        let mut step = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let inserts: Vec<(SimTime, u64)> = (0..400).map(|_| (step() % 64, step())).collect();
+        let drain = |q: &mut dyn EventQueue<u64>| -> Vec<(SimTime, u64)> {
+            for (i, &(at, prio)) in inserts.iter().enumerate() {
+                q.schedule_keyed(at, prio, i as u64);
+            }
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let mut heap = SlabEventQueue::new();
+        let mut cal = CalendarQueue::new();
+        assert_eq!(drain(&mut heap), drain(&mut cal));
     }
 
     /// Property-style: a deterministic pseudo-random interleaving of

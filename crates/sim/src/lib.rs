@@ -19,6 +19,10 @@
 //!   turns a [`cluster::SimConfig`] into a [`cluster::SimResult`] with the
 //!   run time, R factor, per-resource busy times, hop statistics, and I/O
 //!   usage that the paper's figures report,
+//! * `shard` — the conservative time-window parallel event engine:
+//!   nodes partition into `SimConfig::shards` shards advancing in
+//!   lock-step windows of the network-latency lookahead on the steal
+//!   pool, with results byte-identical to the sequential engine,
 //! * [`backend`] — [`SimBackend`], the [`rocket_core::Backend`]
 //!   implementation that runs a [`rocket_core::Scenario`] on the simulator
 //!   and reports a unified [`rocket_core::RunReport`],
@@ -32,6 +36,7 @@ pub mod cluster;
 pub mod engine;
 pub mod model;
 pub mod server;
+mod shard;
 
 pub use backend::SimBackend;
 pub use cluster::{simulate, SimConfig, SimNodeConfig, SimResult};
