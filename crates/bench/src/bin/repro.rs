@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH] [--csv PATH]
+//!       [--perf-log DIR]
 //! repro --list
 //! ```
 //!
@@ -19,7 +20,12 @@
 //!   startup so one invocation produces one coherent snapshot,
 //! * `--csv PATH` — the study grid as CSV (axis columns + headline
 //!   replication statistics); with multiple experiments the file holds
-//!   one header+rows section per study, separated by blank lines.
+//!   one header+rows section per study, separated by blank lines,
+//! * `--perf-log DIR` — per-cell perf logs: every study cell records the
+//!   engine's structured perf samples to
+//!   `DIR/<study>-cell<N>.perflog.jsonl` and its JSON/CSV rows gain
+//!   p50/p99 stage rollups (see `docs/perf-log.md`). Recording never
+//!   changes results — instrumentation stays out-of-band.
 //!
 //! `--list` prints every experiment with a one-line description; unknown
 //! experiment names suggest the closest match.
@@ -32,7 +38,7 @@ use rocket_bench::util::write_result;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH] [--csv PATH]"
+        "usage: repro <experiment|all> [--scale N] [--out DIR] [--seed S] [--json PATH] [--csv PATH] [--perf-log DIR]"
     );
     eprintln!("       repro --list");
     eprintln!("experiments:");
@@ -137,6 +143,10 @@ fn main() -> ExitCode {
             },
             "--csv" => match it.next() {
                 Some(v) => csv_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--perf-log" => match it.next() {
+                Some(v) => opts.perf_log = Some(PathBuf::from(v)),
                 None => return usage(),
             },
             "--help" | "-h" => {

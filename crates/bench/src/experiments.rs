@@ -137,6 +137,11 @@ pub struct ExpOptions {
     pub out_dir: PathBuf,
     /// Seed for every randomized component.
     pub seed: u64,
+    /// When set, every study records per-cell perf logs into this
+    /// directory (see [`Study::perf_log_dir`]) and the report carries
+    /// per-cell rollups. `None` (the default) leaves instrumentation
+    /// disabled — the zero-cost path.
+    pub perf_log: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -145,8 +150,21 @@ impl Default for ExpOptions {
             extra_scale: 1,
             out_dir: PathBuf::from("results"),
             seed: 0xC0FFEE,
+            perf_log: None,
         }
     }
+}
+
+/// A [`Study`] named `name` with the shared experiment options applied:
+/// the perf-log directory when `--perf-log` is set, nothing otherwise.
+/// Experiments that build several studies pass distinct names so their
+/// perf-log files never collide in the shared directory.
+fn study(name: impl Into<String>, opts: &ExpOptions) -> Study {
+    let mut s = Study::new(name);
+    if let Some(dir) = &opts.perf_log {
+        s = s.perf_log_dir(dir);
+    }
+    s
 }
 
 /// Default data-set scale divisors (relative to the paper's full sizes)
@@ -403,7 +421,7 @@ fn table1(opts: &ExpOptions) -> StudyReport {
         .axis(app_points)
         .try_build()
         .expect("table1 sweep");
-    let mut report = Study::new("table1")
+    let mut report = study("table1", opts)
         .run(&backend, &sweep)
         .expect("table1 study");
 
@@ -462,7 +480,7 @@ fn fig7(opts: &ExpOptions) -> StudyReport {
         .axis(app_axis(opts))
         .try_build()
         .expect("fig7 sweep");
-    let mut report = Study::new("fig7")
+    let mut report = study("fig7", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig7 study");
 
@@ -522,7 +540,7 @@ fn fig8(opts: &ExpOptions) -> StudyReport {
         .axis(app_axis(opts))
         .try_build()
         .expect("fig8 sweep");
-    let mut report = Study::new("fig8")
+    let mut report = study("fig8", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig8 study");
 
@@ -587,7 +605,7 @@ fn fig10(opts: &ExpOptions) -> StudyReport {
         .axis(cache_axis)
         .try_build()
         .expect("fig10 sweep");
-    let mut report = Study::new("fig10")
+    let mut report = study("fig10", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig10 study");
 
@@ -650,7 +668,7 @@ fn fig9(opts: &ExpOptions) -> StudyReport {
         .axis(cache_axis)
         .try_build()
         .expect("fig9 sweep");
-    let mut report = Study::new("fig9")
+    let mut report = study("fig9", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig9 study");
 
@@ -705,7 +723,7 @@ fn fig11(opts: &ExpOptions) -> StudyReport {
         .axis(Axis::nodes([16]))
         .try_build()
         .expect("fig11 sweep");
-    let mut report = Study::new("fig11")
+    let mut report = study("fig11", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig11 study");
 
@@ -759,7 +777,7 @@ fn fig12(opts: &ExpOptions) -> StudyReport {
         .axis(Axis::nodes(FIG12_NODES))
         .try_build()
         .expect("fig12 sweep");
-    let mut report = Study::new("fig12")
+    let mut report = study("fig12", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig12 study");
 
@@ -879,7 +897,7 @@ fn fig13(opts: &ExpOptions) -> StudyReport {
         .axis(config_axis)
         .try_build()
         .expect("fig13 sweep");
-    let mut report = Study::new("fig13")
+    let mut report = study("fig13", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig13 study");
 
@@ -950,7 +968,7 @@ fn fig14(opts: &ExpOptions) -> StudyReport {
         .axis(Axis::tag("config", ["heterogeneous"]))
         .try_build()
         .expect("fig14 sweep");
-    let mut report = Study::new("fig14")
+    let mut report = study("fig14", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig14 study");
 
@@ -1001,7 +1019,7 @@ fn fig15(opts: &ExpOptions) -> StudyReport {
         .axis(Axis::nodes(FIG15_NODES))
         .try_build()
         .expect("fig15 sweep");
-    let mut report = Study::new("fig15")
+    let mut report = study("fig15", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("fig15 study");
 
@@ -1083,7 +1101,7 @@ fn cartesius96(opts: &ExpOptions) -> StudyReport {
         .axis(Axis::tag("policy", ["once"]))
         .try_build()
         .expect("cartesius96 sweep");
-    let grid_report = Study::new("cartesius96")
+    let grid_report = study("cartesius96", opts)
         .run(&SimBackend::new(), &grid)
         .expect("cartesius96 grid");
 
@@ -1098,7 +1116,7 @@ fn cartesius96(opts: &ExpOptions) -> StudyReport {
             .try_build()
             .expect("cartesius96 point sweep")
     };
-    let fixed_report = Study::new("cartesius96")
+    let fixed_report = study("cartesius96-fixed8", opts)
         .replication(ReplicationPolicy::fixed(8))
         .run(&SimBackend::new(), &point_sweep("fixed8"))
         .expect("cartesius96 replicated point");
@@ -1106,7 +1124,7 @@ fn cartesius96(opts: &ExpOptions) -> StudyReport {
     // seeds until the runtime CI half-width is within 10% of the mean
     // (capped at 16 runs) — usually fewer runs than the fixed-count
     // schedule needs for the same confidence.
-    let adaptive_report = Study::new("cartesius96")
+    let adaptive_report = study("cartesius96-untilci", opts)
         .replication(ReplicationPolicy::until_ci(0.10, 16))
         .run(&SimBackend::new(), &point_sweep("until_ci"))
         .expect("cartesius96 adaptive point");
@@ -1224,7 +1242,7 @@ fn transports(opts: &ExpOptions) -> StudyReport {
         ]))
         .try_build()
         .expect("transports sweep");
-    let mut report = Study::new("transports")
+    let mut report = study("transports", opts)
         .run(&backend, &sweep)
         .expect("transports study");
 
@@ -1315,7 +1333,7 @@ fn model_check(opts: &ExpOptions) -> StudyReport {
         .axis(full_cache_axis)
         .try_build()
         .expect("model sweep");
-    let mut report = Study::new("model")
+    let mut report = study("model", opts)
         .run(&SimBackend::new(), &sweep)
         .expect("model study");
 
@@ -1393,7 +1411,7 @@ fn scale1k(opts: &ExpOptions) -> StudyReport {
             .try_build()
             .expect("scale1k sweep");
         let sw = stopwatch();
-        let part = Study::new("scale1k")
+        let part = study(format!("scale1k-k{k}"), opts)
             .run(&SimBackend::new(), &sweep)
             .expect("scale1k study");
         walls.push(sw.elapsed_secs());
@@ -1451,6 +1469,7 @@ mod tests {
             extra_scale: 20, // shrink everything hard: tests must be quick
             out_dir: std::env::temp_dir().join(format!("rocket-exp-{}", std::process::id())),
             seed: 7,
+            perf_log: None,
         }
     }
 

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use rocket_storage::ObjectStore;
+use rocket_trace::{PerfKind, PerfLog, PerfRecord, TaskKind};
 
 use crate::app::Application;
 use crate::cluster::{AppReport, Rocket};
@@ -31,6 +32,19 @@ pub trait Backend: Sync {
 
     /// Runs the scenario to completion and reports aggregate results.
     fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError>;
+
+    /// Runs the scenario while streaming perf samples into `perf`.
+    ///
+    /// The default implementation ignores the log (backends without
+    /// instrumentation — e.g. the remote cluster driver, whose work
+    /// happens in other processes — record nothing). Backends that
+    /// override this guarantee the *result* is unchanged by recording:
+    /// perf data travels out-of-band, never through `RunReport` wire
+    /// structs.
+    fn run_with_perf(&self, scenario: &Scenario, perf: &PerfLog) -> Result<RunReport, RocketError> {
+        let _ = perf;
+        self.run(scenario)
+    }
 }
 
 /// The threaded runtime as a [`Backend`]: executes a real
@@ -98,5 +112,43 @@ impl<A: Application> Backend for ThreadedBackend<A> {
 
     fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError> {
         Ok(self.run_app(scenario)?.unified(scenario))
+    }
+
+    /// Forces task tracing on and converts the recorded spans into perf
+    /// records (timestamp = span end, value = duration; `RemoteFetch`
+    /// spans become directory-probe hits, `RemoteServe` spans are the
+    /// serving side of the same probe and are skipped). Forcing tracing
+    /// changes only the report's busy-time/trace-derived fields, never
+    /// the computed results.
+    fn run_with_perf(&self, scenario: &Scenario, perf: &PerfLog) -> Result<RunReport, RocketError> {
+        if !perf.is_enabled() {
+            return self.run(scenario);
+        }
+        let mut traced = scenario.clone();
+        traced.tracing = true;
+        let report = self.run_app(&traced)?;
+        for node in &report.nodes {
+            perf.extend(node.spans.iter().filter_map(|s| {
+                let kind = match s.kind {
+                    TaskKind::Read => PerfKind::Read,
+                    TaskKind::Parse => PerfKind::Parse,
+                    TaskKind::Preprocess => PerfKind::Preprocess,
+                    TaskKind::Compare => PerfKind::Compare,
+                    TaskKind::CopyIn => PerfKind::CopyIn,
+                    TaskKind::CopyOut => PerfKind::CopyOut,
+                    TaskKind::Postprocess => PerfKind::Postprocess,
+                    TaskKind::RemoteFetch => PerfKind::ProbeHit,
+                    TaskKind::RemoteServe => return None,
+                    TaskKind::Steal => PerfKind::Steal,
+                };
+                Some(PerfRecord {
+                    t_ns: s.end_ns,
+                    kind,
+                    node: node.node as u32,
+                    value: s.duration_ns(),
+                })
+            }));
+        }
+        Ok(report.unified(&traced))
     }
 }

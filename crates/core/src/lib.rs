@@ -89,3 +89,6 @@ pub use workload::WorkloadProfile;
 pub use rocket_cache::ItemId;
 pub use rocket_comm::{CommSnapshot, TransportKind};
 pub use rocket_steal::Pair;
+pub use rocket_trace::{
+    PerfClass, PerfKind, PerfLog, PerfMeta, PerfQuery, PerfRecord, PerfRollup, StageStats,
+};

@@ -46,9 +46,13 @@
 //! println!("{}", report.render());
 //! ```
 
+use std::path::PathBuf;
+
 use parking_lot::Mutex;
 
 use rocket_steal::StealPool;
+use rocket_trace::perflog::write_jsonl;
+use rocket_trace::{PerfKind, PerfLog, PerfMeta, PerfRollup};
 
 use crate::backend::Backend;
 use crate::error::RocketError;
@@ -104,6 +108,7 @@ pub struct Study {
     name: String,
     policy: ReplicationPolicy,
     threads: usize,
+    perf_dir: Option<PathBuf>,
 }
 
 impl Study {
@@ -114,6 +119,7 @@ impl Study {
             name: name.into(),
             policy: ReplicationPolicy::Once,
             threads: 1,
+            perf_dir: None,
         }
     }
 
@@ -129,6 +135,18 @@ impl Study {
     /// time does.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables per-cell perf logging: every cell records one perf log
+    /// (under replicated policies: the cell's deterministic first
+    /// replication), written to `dir` as
+    /// `<experiment>-cell<N>.perflog.jsonl`, with the rollup attached as
+    /// [`CellReport::perf`] and carried into CSV/JSON. The directory is
+    /// created if missing. Recording never changes run results —
+    /// instrumented backends keep perf data out-of-band.
+    pub fn perf_log_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.perf_dir = Some(dir.into());
         self
     }
 
@@ -150,37 +168,86 @@ impl Study {
         let inner_threads = if threads == 1 { 0 } else { 1 };
         let slots: Vec<Mutex<Option<Result<ReplicationReport, RocketError>>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
+        // One recording handle per cell when perf logging is on. Each cell
+        // records exactly one replication — the deterministic first seed of
+        // the policy's schedule — so perf logs are comparable across runs
+        // and replication counts.
+        let perf_logs: Option<Vec<PerfLog>> = self
+            .perf_dir
+            .as_ref()
+            .map(|_| cells.iter().map(|_| PerfLog::enabled()).collect());
         StealPool::run_tasks(cells.len(), threads, |i| {
             let scenario = &cells[i].scenario;
+            let tap;
+            let eff: &dyn Backend = match &perf_logs {
+                Some(logs) => {
+                    let designated = match self.policy {
+                        ReplicationPolicy::Once => scenario.seed,
+                        _ => Replications::new(scenario.seed, 1).seeds()[0],
+                    };
+                    tap = PerfTap {
+                        inner: backend,
+                        perf: &logs[i],
+                        seed: designated,
+                    };
+                    &tap
+                }
+                None => backend,
+            };
             let result = match self.policy {
-                ReplicationPolicy::Once => backend.run(scenario).map(|run| {
+                ReplicationPolicy::Once => eff.run(scenario).map(|run| {
                     ReplicationReport::from_runs(backend.name(), vec![scenario.seed], vec![run])
                 }),
                 ReplicationPolicy::Fixed(n) => Replications::new(scenario.seed, n)
                     .threads(inner_threads)
-                    .run(backend, scenario),
+                    .run(eff, scenario),
                 ReplicationPolicy::UntilCi {
                     rel_half_width,
                     max_n,
                 } => Replications::until_ci(scenario.seed, rel_half_width, max_n)
                     .threads(inner_threads)
-                    .run(backend, scenario),
+                    .run(eff, scenario),
             };
             *slots[i].lock() = Some(result);
         });
         // Sequential fold in cell order: the report is independent of
         // which thread ran which cell.
+        if let Some(dir) = &self.perf_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| RocketError::Config(format!("perf log dir {}: {e}", dir.display())))?;
+        }
         let mut reports = Vec::with_capacity(cells.len());
         for (cell, slot) in cells.iter().zip(slots) {
             let report = slot
                 .into_inner()
                 .expect("cell ran")
                 .map_err(|e| RocketError::Config(format!("cell {} failed: {e}", cell.index)))?;
+            let perf = match (&self.perf_dir, &perf_logs) {
+                (Some(dir), Some(logs)) => {
+                    let records = logs[cell.index].take();
+                    let meta = PerfMeta {
+                        run: self.name.clone(),
+                        cell: Some(cell.index as u64),
+                        backend: backend.name().to_string(),
+                    };
+                    let path = dir.join(format!(
+                        "{}-cell{}.perflog.jsonl",
+                        file_slug(&self.name),
+                        cell.index
+                    ));
+                    std::fs::write(&path, write_jsonl(&meta, &records)).map_err(|e| {
+                        RocketError::Config(format!("perf log {}: {e}", path.display()))
+                    })?;
+                    Some(PerfRollup::from_records(&records))
+                }
+                _ => None,
+            };
             reports.push(CellReport {
                 cell: cell.index,
                 coords: cell.coords.clone(),
                 scenario: cell.scenario.clone(),
                 report,
+                perf,
             });
         }
         Ok(StudyReport {
@@ -191,6 +258,43 @@ impl Study {
             notes: String::new(),
         })
     }
+}
+
+/// Routes exactly one replication — the one carrying the designated
+/// seed — through [`Backend::run_with_perf`]; every other run passes
+/// through untouched. This keeps perf logs to one deterministic
+/// replication per cell regardless of the replication policy.
+struct PerfTap<'a> {
+    inner: &'a dyn Backend,
+    perf: &'a PerfLog,
+    seed: u64,
+}
+
+impl Backend for PerfTap<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError> {
+        if scenario.seed == self.seed {
+            self.inner.run_with_perf(scenario, self.perf)
+        } else {
+            self.inner.run(scenario)
+        }
+    }
+}
+
+/// Filesystem-safe slug of an experiment name.
+fn file_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Outcome of one grid cell: coordinates, the applied scenario, and the
@@ -205,6 +309,9 @@ pub struct CellReport {
     pub scenario: Scenario,
     /// The replicated runs (one run under [`ReplicationPolicy::Once`]).
     pub report: ReplicationReport,
+    /// Perf rollup of the cell's recorded replication (`Some` iff the
+    /// study ran with [`Study::perf_log_dir`]).
+    pub perf: Option<PerfRollup>,
 }
 
 impl CellReport {
@@ -350,11 +457,15 @@ impl StudyReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"cell\":{},\"coords\":{},\"report\":{}}}",
+                "{{\"cell\":{},\"coords\":{},\"report\":{}",
                 cell.cell,
                 cell.coords_json(),
                 cell.report.to_json()
             ));
+            if let Some(perf) = &cell.perf {
+                out.push_str(&format!(",\"perf\":{}", perf.to_json()));
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -371,11 +482,15 @@ impl StudyReport {
                 out.push_str("{\"experiment\":");
                 push_json_str(&mut out, &self.experiment);
                 out.push_str(&format!(
-                    ",\"cell\":{},\"coords\":{},\"report\":{}}}",
+                    ",\"cell\":{},\"coords\":{},\"report\":{}",
                     cell.cell,
                     cell.coords_json(),
                     cell.report.to_json()
                 ));
+                if let Some(perf) = &cell.perf {
+                    out.push_str(&format!(",\"perf\":{}", perf.to_json()));
+                }
+                out.push('}');
                 out
             })
             .collect()
@@ -398,8 +513,18 @@ impl StudyReport {
         }
         out.push_str(
             ",replications,pairs,elapsed_s_mean,elapsed_s_ci95,r_factor_mean,\
-             r_factor_ci95,throughput_mean,throughput_ci95,loads_mean,degraded\n",
+             r_factor_ci95,throughput_mean,throughput_ci95,loads_mean,degraded",
         );
+        // Perf columns appear only when the study recorded perf logs, so
+        // perf-less CSV output is byte-identical to earlier versions.
+        let with_perf = self.cells.iter().any(|c| c.perf.is_some());
+        if with_perf {
+            out.push_str(
+                ",read_p50_ns,read_p99_ns,parse_p50_ns,parse_p99_ns,compare_p50_ns,\
+                 compare_p99_ns,steals_per_sec,probes_per_sec",
+            );
+        }
+        out.push('\n');
         for cell in &self.cells {
             out.push_str(&esc(&self.experiment));
             out.push_str(&format!(",{}", cell.cell));
@@ -410,7 +535,7 @@ impl StudyReport {
             }
             let r = &cell.report;
             out.push_str(&format!(
-                ",{},{},{},{},{},{},{},{},{},{}\n",
+                ",{},{},{},{},{},{},{},{},{},{}",
                 r.replications(),
                 cell.run().pairs,
                 json_f64(r.elapsed.mean()),
@@ -422,6 +547,30 @@ impl StudyReport {
                 json_f64(r.loads.mean()),
                 cell.degraded(),
             ));
+            if with_perf {
+                let stage = |kind: PerfKind| {
+                    cell.perf
+                        .as_ref()
+                        .and_then(|p| p.stage(kind))
+                        .map(|s| format!("{},{}", s.p50_ns, s.p99_ns))
+                        .unwrap_or_else(|| ",".into())
+                };
+                out.push_str(&format!(
+                    ",{},{},{},{},{}",
+                    stage(PerfKind::Read),
+                    stage(PerfKind::Parse),
+                    stage(PerfKind::Compare),
+                    cell.perf
+                        .as_ref()
+                        .map(|p| json_f64(p.steal_per_sec))
+                        .unwrap_or_default(),
+                    cell.perf
+                        .as_ref()
+                        .map(|p| json_f64(p.probe_per_sec))
+                        .unwrap_or_default(),
+                ));
+            }
+            out.push('\n');
         }
         out
     }

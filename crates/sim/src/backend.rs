@@ -6,7 +6,7 @@
 //! reports, so experiment drivers and the replication runner treat both
 //! engines interchangeably.
 
-use rocket_core::{Backend, BusyTimes, RocketError, RunReport, Scenario};
+use rocket_core::{Backend, BusyTimes, PerfLog, RocketError, RunReport, Scenario};
 
 use crate::cluster::{simulate, SimConfig, SimNodeConfig, SimResult};
 use crate::engine::Scheduler;
@@ -70,6 +70,7 @@ impl From<&Scenario> for SimConfig {
             },
             shards: s.sim_shards,
             shard_threads: 0,
+            perf: PerfLog::disabled(),
         }
     }
 }
@@ -113,11 +114,20 @@ impl Backend for SimBackend {
     }
 
     fn run(&self, scenario: &Scenario) -> Result<RunReport, RocketError> {
+        self.run_with_perf(scenario, &PerfLog::disabled())
+    }
+
+    /// Same run, with the engine's perf instrumentation streaming into
+    /// `perf`. The simulator buffers records out-of-band and folds them
+    /// in after [`SimResult`] is final, so the report is byte-identical
+    /// with recording on or off (`crates/sim/tests/perflog.rs` pins it).
+    fn run_with_perf(&self, scenario: &Scenario, perf: &PerfLog) -> Result<RunReport, RocketError> {
         scenario.validate().map_err(RocketError::Config)?;
         let mut cfg = SimConfig::from(scenario);
         if let Some(shards) = self.shards {
             cfg.shards = shards;
         }
+        cfg.perf = perf.clone();
         let shards = cfg.effective_shards() as u32;
         Ok(unified(simulate(&cfg), shards))
     }

@@ -50,7 +50,7 @@ use rocket_core::WorkloadProfile;
 use rocket_gpu::DeviceProfile;
 use rocket_stats::{Dist, Distribution, Xoshiro256};
 use rocket_steal::{Block, Pair, TaskDeque};
-use rocket_trace::ThroughputSeries;
+use rocket_trace::{PerfLog, ThroughputSeries};
 
 use crate::engine::{secs_to_ns, CalendarQueue, Scheduler, SimTime, SlabEventQueue};
 use crate::server::{Engine, Pool};
@@ -118,6 +118,10 @@ pub struct SimConfig {
     /// Worker threads for sharded runs. `0` picks the machine's available
     /// parallelism, capped at the shard count.
     pub shard_threads: usize,
+    /// Perf-sample sink. Disabled by default; when enabled the engine
+    /// buffers records per shard and folds them in after the result is
+    /// final, so enabling it never changes [`SimResult`].
+    pub perf: PerfLog,
 }
 
 impl SimConfig {
@@ -146,6 +150,7 @@ impl SimConfig {
             scheduler: Scheduler::default(),
             shards: 1,
             shard_threads: 0,
+            perf: PerfLog::disabled(),
         }
     }
 

@@ -48,7 +48,7 @@ use std::sync::Mutex;
 use rocket_cache::{CacheStats, Directory, DirectoryMsg, DirectoryStats, Lookup, Resolution};
 use rocket_stats::SeedSequence;
 use rocket_steal::{Block, Pair, StealPool, TaskDeque};
-use rocket_trace::ThroughputSeries;
+use rocket_trace::{PerfKind, PerfRecord, ThroughputSeries};
 
 use crate::cluster::{
     sample_ns, transfer_ns, DevFill, Ev, GpuRates, HostFill, Msg, SimConfig, SimGpu, SimJob,
@@ -134,6 +134,12 @@ pub(crate) struct ShardState<Q> {
     /// whole-cluster snapshot — which is most boundaries late in a run,
     /// when all remaining work is in flight and hungry nodes can only wait.
     work_blocks: usize,
+    /// Perf-sample buffer (`Some` iff `cfg.perf` is enabled). Records stay
+    /// shard-local during the run and fold into `cfg.perf` in `finish`,
+    /// after the result is final — so instrumentation can never perturb
+    /// `SimResult`, and the fold order (shard order, then driver) is
+    /// byte-stable across thread counts.
+    perf: Option<Vec<PerfRecord>>,
 }
 
 /// Barrier-side state: everything shards must never touch concurrently.
@@ -150,6 +156,23 @@ struct Driver {
     lens: Vec<usize>,
     /// Scratch: pending pairs per global node for steal matching.
     pair_lens: Vec<u64>,
+    /// Perf samples produced at barriers (storage reads, boundary steals).
+    perf: Option<Vec<PerfRecord>>,
+}
+
+impl Driver {
+    /// Appends a barrier-side perf record when instrumentation is on.
+    #[inline]
+    fn perf(&mut self, t_ns: SimTime, kind: PerfKind, node: usize, value: u64) {
+        if let Some(buf) = &mut self.perf {
+            buf.push(PerfRecord {
+                t_ns,
+                kind,
+                node: node as u32,
+                value,
+            });
+        }
+    }
 }
 
 /// Runs one simulation to completion on `K = cfg.effective_shards()`
@@ -170,6 +193,7 @@ where
         msgs: Vec::new(),
         lens: Vec::new(),
         pair_lens: Vec::new(),
+        perf: cfg.perf.is_enabled().then(Vec::new),
     };
     if ctx.total_pairs > 0 {
         if k == 1 {
@@ -308,6 +332,7 @@ where
             pairs_started: 0,
             seqs,
             work_blocks: 0,
+            perf: cfg.perf.is_enabled().then(Vec::new),
         };
         if ctx.total_pairs > 0 {
             // The master node spawns the root task (§4.2); every node
@@ -381,6 +406,7 @@ fn run_sequential<Q: EventQueue<Ev>>(ctx: &Ctx, shard: &mut ShardState<Q>, drv: 
             let boundary = shard.window_end;
             steal_match(ctx, &mut [&mut *shard], drv, boundary);
             drv.windows += 1;
+            record_gauges(&mut [&mut *shard], boundary);
             let t2 = shard.queue.peek_time().unwrap_or(t);
             shard.window_end = (t2 / win + 1) * win;
             continue;
@@ -477,6 +503,25 @@ fn barrier_step<Q: EventQueue<Ev>>(
     flush_loads(ctx, shards, drv);
     steal_match(ctx, shards, drv, boundary);
     drv.windows += 1;
+    record_gauges(shards, boundary);
+}
+
+/// Per-shard engine gauges, sampled at executed barriers: queue depth and
+/// cumulative events handled (diff consecutive `Window` records for a
+/// per-window event cost). Barriers that the sequential fast path skips
+/// (no hungry nodes, no pending loads) record nothing, so gauge *timing*
+/// is a property of the engine configuration — unlike node-level records,
+/// which are identical for every shard count.
+fn record_gauges<Q: EventQueue<Ev>>(shards: &mut [&mut ShardState<Q>], boundary: SimTime) {
+    for s in shards.iter_mut() {
+        if s.perf.is_some() {
+            let sid = s.id;
+            let depth = s.queue.len() as u64;
+            let events: u64 = s.ev_counts.iter().sum();
+            s.perf(boundary, PerfKind::QueueDepth, sid, depth);
+            s.perf(boundary, PerfKind::Window, sid, events);
+        }
+    }
 }
 
 fn deliver_messages<Q: EventQueue<Ev>>(
@@ -510,6 +555,9 @@ fn flush_loads<Q: EventQueue<Ev>>(ctx: &Ctx, shards: &mut [&mut ShardState<Q>], 
         loads.sort_unstable_by_key(|&(at, p, ..)| (at, p));
         for &(at, p, node, item) in &loads {
             let done = drv.storage.submit(at, ctx.load_service_ns) + ctx.storage_lat_ns;
+            // Read latency as the node observes it: queueing at the shared
+            // storage engine plus service plus delivery latency.
+            drv.perf(done, PerfKind::Read, node, done - at);
             shards[ctx.node_shard[node]]
                 .queue
                 .schedule_keyed(done, p, Ev::IoDone { node, item });
@@ -619,6 +667,8 @@ fn steal_match<Q: EventQueue<Ev>>(
         drv.lens[victim] -= 1;
         drv.pair_lens[victim] -= block.count();
         drv.steals += 1;
+        // Thief's node id, pairs moved.
+        drv.perf(boundary, PerfKind::Steal, g, block.count());
         let s = &mut shards[sg];
         s.nodes[g - s.base].deque.push(block);
         s.work_blocks += 1;
@@ -727,8 +777,14 @@ fn finish<Q: EventQueue<Ev>>(ctx: &Ctx, shards: Vec<ShardState<Q>>, drv: Driver)
         completions: ctx.cfg.record_completions.then(ThroughputSeries::new),
     };
     let mut makespan_ns: SimTime = 0;
-    for shard in shards {
-        // Shards are ordered by `base`, so this walks global node order.
+    let mut perf_records = ctx.cfg.perf.is_enabled().then(Vec::new);
+    for mut shard in shards {
+        // Shards are ordered by `base`, so this walks global node order —
+        // and folds perf buffers in the same order, making the record
+        // sequence byte-stable across thread counts at a fixed shard count.
+        if let (Some(acc), Some(buf)) = (&mut perf_records, &mut shard.perf) {
+            acc.append(buf);
+        }
         if let (Some(acc), Some(s)) = (&mut r.completions, &shard.completions) {
             acc.merge(s);
         }
@@ -753,6 +809,12 @@ fn finish<Q: EventQueue<Ev>>(ctx: &Ctx, shards: Vec<ShardState<Q>>, drv: Driver)
         }
     }
     r.makespan = ns_to_secs(makespan_ns);
+    if let Some(mut records) = perf_records {
+        if let Some(barrier) = drv.perf {
+            records.extend(barrier);
+        }
+        ctx.cfg.perf.extend(records);
+    }
     r
 }
 
@@ -799,6 +861,20 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
             if let Some(row) = node.cursor.take() {
                 node.deque.push(row);
             }
+        }
+    }
+
+    /// Appends a perf record when instrumentation is on — one branch, no
+    /// allocation, when it is off.
+    #[inline]
+    fn perf(&mut self, t_ns: SimTime, kind: PerfKind, node: usize, value: u64) {
+        if let Some(buf) = &mut self.perf {
+            buf.push(PerfRecord {
+                t_ns,
+                kind,
+                node: node as u32,
+                value,
+            });
         }
     }
 
@@ -1001,9 +1077,13 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
                     } else {
                         job.right = Some(slot);
                     }
+                    let now = self.queue.now();
+                    self.perf(now, PerfKind::DevHit, node, item);
                 }
                 Lookup::Pending => return,
                 Lookup::MustLoad(slot) => {
+                    let now = self.queue.now();
+                    self.perf(now, PerfKind::DevMiss, node, item);
                     let fill = &mut self.nodes[l].gpus[gpu].fills[item as usize];
                     fill.dev_slot = Some(slot);
                     fill.waiters.push(Tok::Job(id));
@@ -1068,6 +1148,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::CompareDone { node, job: id });
+        self.perf(done, PerfKind::Compare, node, dur);
     }
 
     fn on_compare_done(&mut self, ctx: &Ctx, node: usize, id: u64) {
@@ -1085,6 +1166,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::ResultDone { node, job: id });
+        self.perf(done, PerfKind::CopyOut, node, dur);
     }
 
     fn on_result_done(&mut self, ctx: &Ctx, node: usize, id: u64) {
@@ -1095,6 +1177,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::PostDone { node, job: id });
+        self.perf(done, PerfKind::Postprocess, node, dur);
     }
 
     fn on_post_done(&mut self, ctx: &Ctx, node: usize, id: u64) {
@@ -1140,9 +1223,13 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
                 let p = self.next_prio(node);
                 self.queue
                     .schedule_keyed(done, p, Ev::FillCopyDone { node, gpu, item });
+                self.perf(now, PerfKind::HostHit, node, item);
+                self.perf(done, PerfKind::CopyIn, node, dur);
             }
             Lookup::Pending | Lookup::Busy => {}
             Lookup::MustLoad(hslot) => {
+                let now = self.queue.now();
+                self.perf(now, PerfKind::HostMiss, node, item);
                 self.nodes[l].host_fill[item as usize] = Some(HostFill {
                     origin_gpu: gpu as u32,
                     slot: hslot,
@@ -1150,6 +1237,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
                 if ctx.cfg.distributed_cache && ctx.node_shard.len() > 1 {
                     let (to, msg) = self.nodes[l].directory.begin_lookup(item);
                     self.send(ctx, node, to, Msg::Dir(msg));
+                    self.perf(now, PerfKind::Probe, node, item);
                 } else {
                     self.request_load(ctx, node, item);
                 }
@@ -1215,6 +1303,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::ParseDone { node, item });
+        self.perf(done, PerfKind::Parse, node, dur);
     }
 
     fn on_parse_done(&mut self, ctx: &Ctx, node: usize, item: u64) {
@@ -1233,6 +1322,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
             let p = self.next_prio(node);
             self.queue
                 .schedule_keyed(done, p, Ev::StagingDone { node, gpu, item });
+            self.perf(done, PerfKind::CopyIn, node, dur);
         } else {
             // No GPU pre-processing: the parsed bytes are the item.
             self.nodes[l].loads += 1;
@@ -1254,6 +1344,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::PreprocessDone { node, gpu, item });
+        self.perf(done, PerfKind::Preprocess, node, dur);
     }
 
     fn on_preprocess_done(&mut self, ctx: &Ctx, node: usize, gpu: usize, item: u64) {
@@ -1269,6 +1360,7 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
         let p = self.next_prio(node);
         self.queue
             .schedule_keyed(done, p, Ev::WritebackDone { node, item });
+        self.perf(done, PerfKind::CopyOut, node, dur);
     }
 
     fn publish_host(&mut self, ctx: &Ctx, node: usize, item: u64) {
@@ -1338,6 +1430,8 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
                     Resolution::InFlight => {}
                     Resolution::Found { holder, .. } => {
                         let item = lookup_item.expect("found carries item");
+                        let now = self.queue.now();
+                        self.perf(now, PerfKind::ProbeHit, to, item);
                         if self.nodes[l].host_fill[item as usize].is_some() {
                             self.send(
                                 ctx,
@@ -1352,6 +1446,8 @@ impl<Q: EventQueue<Ev>> ShardState<Q> {
                     }
                     Resolution::LoadLocally => {
                         let item = lookup_item.expect("not-found carries item");
+                        let now = self.queue.now();
+                        self.perf(now, PerfKind::ProbeMiss, to, item);
                         if self.nodes[l].host_fill[item as usize].is_some() {
                             self.request_load(ctx, to, item);
                         }

@@ -13,11 +13,15 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod perflog;
 pub mod recorder;
 pub mod span;
 pub mod throughput;
 pub mod timeline;
 
+pub use perflog::{
+    PerfClass, PerfKind, PerfLog, PerfMeta, PerfQuery, PerfRecord, PerfRollup, StageStats,
+};
 pub use recorder::TraceRecorder;
 pub use span::{Span, TaskKind, ThreadClass};
 pub use throughput::ThroughputSeries;

@@ -124,7 +124,14 @@ fn sigkilled_worker_does_not_sink_the_sweep() {
 
     // The sweep completed on the survivors with totals identical to a
     // local, single-process run.
-    let local = Study::new("kill-smoke")
+    let mut reference = Study::new("kill-smoke");
+    // CI sets ROCKET_PERF_DIR to keep the smoke run's perf logs as an
+    // artifact; the reference study is the single-process run, so its
+    // logs describe the same cells the cluster executed.
+    if let Ok(dir) = std::env::var("ROCKET_PERF_DIR") {
+        reference = reference.perf_log_dir(dir);
+    }
+    let local = reference
         .run(&SimBackend::new(), &sweep())
         .expect("local study");
     assert_eq!(report.cells.len(), local.cells.len());
