@@ -37,10 +37,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use rocket_comm::wire::Wire;
 use rocket_comm::{Liveness, RecvError, SocketTransport, Transport};
 use rocket_core::{Backend, RocketError, RunReport, Scenario};
+use rocket_sanitize::Mutex;
 
 use crate::protocol::{ToDriver, ToWorker, DRIVER_RANK, PROTOCOL_VERSION};
 
@@ -167,7 +167,7 @@ impl ClusterBackend {
         }
         let shared = Arc::new(Shared {
             next_id: AtomicU64::new(1),
-            events: Mutex::new(Vec::new()),
+            events: Mutex::named("events", Vec::new()),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (jobs_tx, jobs_rx) = unbounded();

@@ -29,7 +29,9 @@
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use rocket_sanitize::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -179,7 +181,7 @@ impl SocketTransport {
                 })
                 .map_err(|e| io_err(io::ErrorKind::Other, format!("spawn reader: {e}")))?;
             readers.push(handle);
-            writers.push(Some(Mutex::new(stream)));
+            writers.push(Some(Mutex::named("writer", stream)));
             peer_up.push(Some(up));
         }
         Ok(SocketTransport {
@@ -262,7 +264,7 @@ impl Transport for SocketTransport {
             let Some(Some(writer)) = self.writers.get(to) else {
                 return Err(RecvError::Disconnected);
             };
-            let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+            let mut stream = writer.lock();
             write_frame(&mut *stream, &payload).map_err(|_| {
                 // A failed write is positive evidence the peer is gone.
                 if let Some(Some(up)) = self.peer_up.get(to) {
@@ -316,7 +318,10 @@ impl Transport for SocketTransport {
 impl Drop for SocketTransport {
     fn drop(&mut self) {
         for writer in self.writers.iter().flatten() {
-            let stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+            let stream = writer.lock();
+            // lint:allow(blocking) — TcpStream::shutdown is a non-blocking
+            // teardown syscall; the reported chain aliases the resource
+            // executor's thread-joining `shutdown` by name.
             let _ = stream.shutdown(Shutdown::Both);
         }
         for handle in self.readers.drain(..) {

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use rocket_sanitize::Mutex;
 
 use rocket_cache::{CacheStats, DirectoryStats};
 use rocket_comm::{CommSnapshot, Transport, TransportKind};
@@ -238,7 +238,7 @@ impl Rocket {
         }
         let nodes = configs.len();
         let n = app.item_count();
-        let outputs = Arc::new(Mutex::new(Vec::new()));
+        let outputs = Arc::new(Mutex::named("outputs", Vec::new()));
         let start = clock::stopwatch();
 
         let mut endpoints: Vec<Option<Box<dyn Transport>>> = if nodes > 1 {

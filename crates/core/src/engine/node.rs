@@ -36,7 +36,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use rocket_sanitize::Mutex;
 
 use rocket_cache::{
     CacheStats, Directory, DirectoryMsg, DirectoryStats, FxHashMap, FxHashSet, ItemId, Lookup,
@@ -419,7 +419,7 @@ impl<A: Application> Conductor<A> {
         }
 
         let host_slots: Vec<Arc<Mutex<Vec<u8>>>> = (0..cfg.host_cache_slots)
-            .map(|_| Arc::new(Mutex::new(vec![0u8; item_bytes as usize])))
+            .map(|_| Arc::new(Mutex::named("host_slots", vec![0u8; item_bytes as usize])))
             .collect();
 
         let io = Resource::spawn(

@@ -13,7 +13,7 @@
 //! the aggregate report is byte-identical regardless of the thread-pool
 //! size (the test suite asserts this).
 
-use parking_lot::Mutex;
+use rocket_sanitize::Mutex;
 
 use rocket_stats::{splitmix64, OnlineStats};
 use rocket_steal::StealPool;
@@ -91,8 +91,11 @@ impl Replications {
         } else {
             self.threads
         };
-        let slots: Vec<Mutex<Option<Result<RunReport, RocketError>>>> =
-            self.seeds.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<RunReport, RocketError>>>> = self
+            .seeds
+            .iter()
+            .map(|_| Mutex::named("slots", None))
+            .collect();
         StealPool::run_tasks(self.seeds.len(), threads, |i| {
             let result = backend.run(&scenario.with_seed(self.seeds[i]));
             *slots[i].lock() = Some(result);

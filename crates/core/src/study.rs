@@ -48,7 +48,7 @@
 
 use std::path::PathBuf;
 
-use parking_lot::Mutex;
+use rocket_sanitize::Mutex;
 
 use rocket_steal::StealPool;
 use rocket_trace::perflog::write_jsonl;
@@ -167,7 +167,7 @@ impl Study {
         // sequential cells let the replication runner use the machine.
         let inner_threads = if threads == 1 { 0 } else { 1 };
         let slots: Vec<Mutex<Option<Result<ReplicationReport, RocketError>>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
+            cells.iter().map(|_| Mutex::named("slots", None)).collect();
         // One recording handle per cell when perf logging is on. Each cell
         // records exactly one replication — the deterministic first seed of
         // the policy's schedule — so perf logs are comparable across runs

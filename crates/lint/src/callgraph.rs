@@ -1,0 +1,683 @@
+//! Workspace-wide, name-resolved call graph over the token stream.
+//!
+//! Every rule that reasons across function boundaries (lock-order
+//! cycles, blocking-while-locked, hot-path allocation) builds on this
+//! module: one pass extracts, per function body, the ordered sequence of
+//! *steps* — lock acquisitions, calls to other in-scope functions,
+//! blocking operations, heap allocations — and the fixpoints over those
+//! steps answer "which locks does this function take, transitively?"
+//! and "can this function block, and through which call chain?".
+//!
+//! Resolution is name-based: a call `helper(..)`, `Type::helper(..)` or
+//! `x.helper(..)` resolves to every in-scope function named `helper`.
+//! Collisions merge conservatively (they can only add behavior, never
+//! hide it). A short skip list keeps ubiquitous trait-method names
+//! (`clone`, `next`, `fmt`, ...) from gluing the whole graph together.
+//!
+//! Lock-hold ranges are *block-scoped*, one step past the old
+//! held-to-end-of-function rule: a guard bound by `let` is held to the
+//! end of its enclosing brace block; an unbound guard (a statement
+//! temporary like `self.m.lock().push(x)`) is held to the end of its
+//! statement. Early `drop(guard)` is still invisible — that
+//! overapproximation is deliberate and documented in
+//! `docs/lint-rules.md`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::source::{matching, SourceFile};
+
+/// One interesting event inside a function body, in token order.
+#[derive(Debug, Clone)]
+pub(crate) enum Step {
+    /// A lock acquisition: zero-arg `.lock()` / `.read()` / `.write()`.
+    /// `until` is the last token index at which the guard is considered
+    /// held (end of enclosing block for `let`-bound guards, end of
+    /// statement for temporaries).
+    Acquire {
+        lock: String,
+        line: u32,
+        at: usize,
+        until: usize,
+    },
+    /// A call resolved to one or more in-scope functions by name.
+    Call {
+        callee: String,
+        line: u32,
+        at: usize,
+    },
+    /// A directly blocking operation (recv, join, wait, sleep, file or
+    /// socket IO). `what` is a short human label.
+    Block { what: String, line: u32, at: usize },
+    /// A heap allocation (`Vec::new`, `format!`, `.to_vec()`, ...).
+    Alloc { what: String, line: u32, at: usize },
+}
+
+impl Step {
+    pub(crate) fn at(&self) -> usize {
+        match self {
+            Step::Acquire { at, .. }
+            | Step::Call { at, .. }
+            | Step::Block { at, .. }
+            | Step::Alloc { at, .. } => *at,
+        }
+    }
+}
+
+/// One function body's extracted steps, tagged with its source file.
+#[derive(Debug)]
+pub(crate) struct FnBody {
+    pub file_idx: usize,
+    pub steps: Vec<Step>,
+}
+
+/// A blocking capability: the operation and the call chain that reaches
+/// it (empty `via` means the function blocks directly).
+#[derive(Debug, Clone)]
+pub(crate) struct BlockChain {
+    pub what: String,
+    pub via: Vec<String>,
+}
+
+impl BlockChain {
+    /// `a -> b -> recv` style rendering, rooted at `head`.
+    pub(crate) fn render(&self, head: &str) -> String {
+        let mut parts = vec![head.to_string()];
+        parts.extend(self.via.iter().cloned());
+        format!("{} -> {}", parts.join(" -> "), self.what)
+    }
+}
+
+/// The call graph: every in-scope function name mapped to its bodies
+/// (multiple bodies when the name collides across impls/files).
+#[derive(Debug)]
+pub(crate) struct CallGraph {
+    pub bodies: BTreeMap<String, Vec<FnBody>>,
+}
+
+/// Trait-method names too generic to resolve by name: treating every
+/// `.clone()` as a call to some workspace fn named `clone` would glue
+/// unrelated code together.
+const SKIP_METHODS: [&str; 20] = [
+    "clear", "clone", "cmp", "contains", "default", "drop", "eq", "fmt", "from", "get", "hash",
+    "insert", "into", "is_empty", "len", "new", "next", "pop", "push", "remove",
+];
+
+/// Directly blocking operations, matched on the method name of a
+/// `.name(` call. Labels name the operation class for messages.
+fn blocking_method(name: &str, zero_arg: bool) -> Option<&'static str> {
+    match name {
+        "recv" if zero_arg => Some("channel/socket recv"),
+        "recv_timeout" => Some("channel recv_timeout"),
+        "join" if zero_arg => Some("thread join"),
+        "wait" | "wait_while" | "wait_until" | "wait_for" | "wait_timeout" => {
+            Some("condvar/barrier wait")
+        }
+        "read_exact" | "write_all" => Some("stream IO"),
+        "flush" if zero_arg => Some("stream flush"),
+        "accept" => Some("socket accept"),
+        _ => None,
+    }
+}
+
+/// Heap-allocating method calls (`.name(`); `zero_arg` distinguishes
+/// `.clone()` from `.clone_from(..)`-style calls.
+fn alloc_method(name: &str, zero_arg: bool) -> Option<&'static str> {
+    match name {
+        "to_vec" => Some("to_vec"),
+        "to_string" => Some("to_string"),
+        "to_owned" => Some("to_owned"),
+        "clone" if zero_arg => Some("clone"),
+        _ => None,
+    }
+}
+
+/// Heap-allocating `Type::ctor` paths.
+fn alloc_path(ty: &str, ctor: &str) -> Option<String> {
+    let heap_ty = matches!(
+        ty,
+        "Vec" | "String" | "Box" | "VecDeque" | "BTreeMap" | "BTreeSet" | "HashMap" | "HashSet"
+    );
+    let ctor_ok = matches!(ctor, "new" | "with_capacity" | "from");
+    if heap_ty && ctor_ok {
+        Some(format!("{ty}::{ctor}"))
+    } else {
+        None
+    }
+}
+
+/// Walks back from the `.` of `.lock()` to the receiver identifier,
+/// skipping balanced `(...)`/`[...]` groups (so `self.slots[i].lock()`
+/// and `self.table().lock()` both resolve sensibly). Returns the name
+/// and the token index where the receiver chain starts.
+fn receiver_name(file: &SourceFile, dot: usize) -> Option<(String, usize)> {
+    let toks = &file.lexed.toks;
+    let mut i = dot.checked_sub(1)?;
+    loop {
+        let t = toks.get(i)?;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
+                // Skip the balanced group backwards.
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 0isize;
+                loop {
+                    let u = toks.get(i)?;
+                    if u.kind == TokKind::Punct {
+                        if u.text == close {
+                            depth += 1;
+                        } else if u.text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    i = i.checked_sub(1)?;
+                }
+                i = i.checked_sub(1)?;
+            }
+            (TokKind::Ident, "self") => return None, // bare `self.lock()`
+            (TokKind::Ident, name) => return Some((name.to_string(), i)),
+            _ => return None,
+        }
+    }
+}
+
+/// Whether the statement containing token `chain_start` begins with
+/// `let`. Walks backward to the previous statement boundary (`;`, any
+/// brace, or an argument-separating `,`), tolerating walks *out* of
+/// nested groups (negative depth) so `map(|c| c.lock())` still sees the
+/// `let` that binds the collected guards.
+fn statement_is_let(file: &SourceFile, chain_start: usize) -> bool {
+    let toks = &file.lexed.toks;
+    let mut depth = 0isize;
+    let mut first_ident: Option<&str> = None;
+    let mut i = chain_start;
+    while let Some(prev) = i.checked_sub(1) {
+        i = prev;
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => depth += 1,
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => depth -= 1,
+            (TokKind::Punct, "{") | (TokKind::Punct, "}") | (TokKind::Punct, ";") => break,
+            (TokKind::Punct, ",") if depth >= 0 => break,
+            (TokKind::Ident, name) => first_ident = Some(name),
+            _ => {}
+        }
+    }
+    first_ident == Some("let")
+}
+
+/// End of the statement containing the acquire whose call closes at
+/// `close`: the first `;` or `{` at relative depth zero, capped at the
+/// token that closes the enclosing block.
+fn statement_end(file: &SourceFile, close: usize, block_end: usize) -> usize {
+    let toks = &file.lexed.toks;
+    let mut depth = 0isize;
+    let mut i = close + 1;
+    while i <= block_end && i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        return i; // expression ends with the group we're in
+                    }
+                    depth -= 1;
+                }
+                "{" if depth == 0 => return i,
+                ";" if depth == 0 => return i,
+                "}" if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    block_end
+}
+
+/// Extracts the step sequence of one function body (tokens
+/// `start..=end`, inclusive of the braces).
+pub(crate) fn body_steps(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    fn_names: &BTreeSet<String>,
+) -> Vec<Step> {
+    let toks = &file.lexed.toks;
+    let mut steps = Vec::new();
+    // Innermost enclosing `{` indices as we walk.
+    let mut opens: Vec<usize> = Vec::new();
+    let mut i = start;
+    while i <= end && i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => opens.push(i),
+                "}" => {
+                    opens.pop();
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].text == ".";
+        let prev_path = i > 1 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let zero_arg = next_paren && toks.get(i + 2).is_some_and(|n| n.text == ")");
+
+        // Lock acquisition: `.lock(...)`; `.read()` / `.write()` need the
+        // zero-arg restriction to dodge io::Read/Write.
+        let is_acquire = match t.text.as_str() {
+            "lock" => prev_dot && next_paren,
+            "read" | "write" => prev_dot && zero_arg,
+            _ => false,
+        };
+        if is_acquire {
+            if let Some((lock, chain_start)) = receiver_name(file, i - 1) {
+                let close = if next_paren {
+                    matching(toks, i + 1, "(", ")")
+                } else {
+                    i + 1
+                };
+                let block_end = opens
+                    .last()
+                    .map(|&o| matching(toks, o, "{", "}"))
+                    .unwrap_or(end);
+                // A guard that keeps being used as a receiver
+                // (`.lock().push(x)`) is a statement temporary no matter
+                // how the statement started.
+                let temporary = toks
+                    .get(close + 1)
+                    .is_some_and(|n| n.text == "." || n.text == "?");
+                let until = if !temporary && statement_is_let(file, chain_start) {
+                    block_end
+                } else {
+                    statement_end(file, close, block_end)
+                };
+                steps.push(Step::Acquire {
+                    lock,
+                    line: t.line,
+                    at: i,
+                    until,
+                });
+            }
+            i += 1;
+            continue;
+        }
+
+        // Directly blocking operations.
+        if prev_dot {
+            if let Some(what) = blocking_method(&t.text, zero_arg) {
+                steps.push(Step::Block {
+                    what: what.to_string(),
+                    line: t.line,
+                    at: i,
+                });
+                i += 1;
+                continue;
+            }
+        }
+        // Path-style blocking: `thread::sleep`, `fs::read*`, `File::open`,
+        // `TcpStream::connect`, and the pacing helper `clock::pace`.
+        if prev_path {
+            let ty = toks[i - 3].text.as_str();
+            let what = match (ty, t.text.as_str()) {
+                ("thread", "sleep") => Some("thread::sleep"),
+                ("clock", "pace") => Some("clock::pace"),
+                ("fs", name) if name.starts_with("read") || name.starts_with("write") => {
+                    Some("file IO")
+                }
+                ("File", "open") | ("File", "create") => Some("file IO"),
+                ("TcpStream", "connect") | ("TcpListener", "bind") => Some("socket connect"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                steps.push(Step::Block {
+                    what: what.to_string(),
+                    line: t.line,
+                    at: i,
+                });
+                i += 1;
+                continue;
+            }
+            // Heap-allocating constructors: `Vec::new`, `String::from`...
+            if next_paren {
+                if let Some(what) = alloc_path(ty, &t.text) {
+                    steps.push(Step::Alloc {
+                        what,
+                        line: t.line,
+                        at: i,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // Allocating macros: `vec![..]`, `format!(..)`.
+        if matches!(t.text.as_str(), "vec" | "format")
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            steps.push(Step::Alloc {
+                what: format!("{}!", t.text),
+                line: t.line,
+                at: i,
+            });
+            i += 1;
+            continue;
+        }
+        // Allocating methods: `.to_vec()`, `.clone()`, ...
+        if prev_dot && next_paren {
+            if let Some(what) = alloc_method(&t.text, zero_arg) {
+                steps.push(Step::Alloc {
+                    what: format!(".{what}()"),
+                    line: t.line,
+                    at: i,
+                });
+                // `.clone()` may *also* be a resolvable call, but clone
+                // is on the skip list, so fall through is moot.
+                i += 1;
+                continue;
+            }
+        }
+        // Calls resolved by name: free `helper(..)`, path `T::helper(..)`
+        // and method `x.helper(..)` forms, against the in-scope fn set.
+        // A free `drop(..)` is always `mem::drop`: Rust forbids calling a
+        // `Drop` impl's method directly (E0040), so resolving it to an
+        // in-scope `fn drop` body would be a fabricated edge.
+        if next_paren
+            && fn_names.contains(&t.text)
+            && (i == 0 || toks[i - 1].text != "fn")
+            && !(prev_dot && SKIP_METHODS.contains(&t.text.as_str()))
+            && (prev_dot || t.text != "drop")
+        {
+            steps.push(Step::Call {
+                callee: t.text.clone(),
+                line: t.line,
+                at: i,
+            });
+        }
+        i += 1;
+    }
+    steps
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test function body in `files`.
+    pub(crate) fn build(files: &[SourceFile]) -> CallGraph {
+        let fn_names: BTreeSet<String> = files
+            .iter()
+            .flat_map(|f| f.fns().into_iter().map(|s| s.name))
+            .collect();
+        let mut bodies: BTreeMap<String, Vec<FnBody>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for span in file.fns() {
+                let steps = body_steps(file, span.body_start, span.body_end, &fn_names);
+                bodies.entry(span.name).or_default().push(FnBody {
+                    file_idx: fi,
+                    steps,
+                });
+            }
+        }
+        CallGraph { bodies }
+    }
+
+    /// Locks each function (transitively) acquires, to a fixpoint.
+    pub(crate) fn effective_locks(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut effective: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for (name, variants) in &self.bodies {
+                let mut locks: BTreeSet<String> = effective.get(name).cloned().unwrap_or_default();
+                let before = locks.len();
+                for body in variants {
+                    for step in &body.steps {
+                        match step {
+                            Step::Acquire { lock, .. } => {
+                                locks.insert(lock.clone());
+                            }
+                            Step::Call { callee, .. } => {
+                                if let Some(sub) = effective.get(callee) {
+                                    locks.extend(sub.iter().cloned());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if locks.len() != before || !effective.contains_key(name) {
+                    changed = true;
+                }
+                effective.insert(name.clone(), locks);
+            }
+            if !changed {
+                break;
+            }
+        }
+        effective
+    }
+
+    /// Which functions may block, with one witness call chain each, to a
+    /// fixpoint. First-discovered chains win, and iteration order is the
+    /// sorted body map, so the result is deterministic.
+    pub(crate) fn may_block(&self) -> BTreeMap<String, BlockChain> {
+        let mut blocking: BTreeMap<String, BlockChain> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for (name, variants) in &self.bodies {
+                if blocking.contains_key(name) {
+                    continue;
+                }
+                'variants: for body in variants {
+                    for step in &body.steps {
+                        match step {
+                            Step::Block { what, .. } => {
+                                blocking.insert(
+                                    name.clone(),
+                                    BlockChain {
+                                        what: what.clone(),
+                                        via: Vec::new(),
+                                    },
+                                );
+                                changed = true;
+                                break 'variants;
+                            }
+                            Step::Call { callee, .. } => {
+                                if callee == name {
+                                    continue; // direct recursion
+                                }
+                                if let Some(sub) = blocking.get(callee) {
+                                    let mut via = vec![callee.clone()];
+                                    via.extend(sub.via.iter().take(4).cloned());
+                                    blocking.insert(
+                                        name.clone(),
+                                        BlockChain {
+                                            what: sub.what.clone(),
+                                            via,
+                                        },
+                                    );
+                                    changed = true;
+                                    break 'variants;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        blocking
+    }
+
+    /// Functions reachable from `roots` through resolved calls, each with
+    /// its BFS call chain (`root -> .. -> fn`). Roots map to themselves.
+    pub(crate) fn reachable(&self, roots: &[String]) -> BTreeMap<String, Vec<String>> {
+        let mut chains: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut frontier: Vec<String> = Vec::new();
+        for root in roots {
+            if self.bodies.contains_key(root) && !chains.contains_key(root) {
+                chains.insert(root.clone(), vec![root.clone()]);
+                frontier.push(root.clone());
+            }
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for name in frontier {
+                let chain = chains.get(&name).cloned().unwrap_or_default();
+                let mut callees: BTreeSet<&String> = BTreeSet::new();
+                for body in self.bodies.get(&name).into_iter().flatten() {
+                    for step in &body.steps {
+                        if let Step::Call { callee, .. } = step {
+                            callees.insert(callee);
+                        }
+                    }
+                }
+                for callee in callees {
+                    if self.bodies.contains_key(callee) && !chains.contains_key(callee) {
+                        let mut c = chain.clone();
+                        c.push(callee.clone());
+                        chains.insert(callee.clone(), c);
+                        next.push(callee.clone());
+                    }
+                }
+            }
+            frontier = next;
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> (CallGraph, Vec<SourceFile>) {
+        let f = SourceFile::new("x.rs".into(), src);
+        let files = vec![f];
+        (CallGraph::build(&files), files)
+    }
+
+    fn acquires(g: &CallGraph, f: &str) -> Vec<(String, usize, usize)> {
+        g.bodies[f]
+            .iter()
+            .flat_map(|b| b.steps.iter())
+            .filter_map(|s| match s {
+                Step::Acquire {
+                    lock, at, until, ..
+                } => Some((lock.clone(), *at, *until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn let_bound_guard_held_to_block_end() {
+        let src = "fn f(&self) { let g = self.m.lock(); self.work(); }";
+        let (g, files) = graph(src);
+        let a = acquires(&g, "f");
+        assert_eq!(a.len(), 1);
+        // Held through the closing brace of the fn body.
+        let toks = &files[0].lexed.toks;
+        assert_eq!(toks[a[0].2].text, "}");
+    }
+
+    #[test]
+    fn temporary_guard_held_to_statement_end() {
+        let src = "fn f(&self) { self.m.lock().push(1); self.work(); }";
+        let (g, files) = graph(src);
+        let a = acquires(&g, "f");
+        assert_eq!(a.len(), 1);
+        let toks = &files[0].lexed.toks;
+        assert_eq!(toks[a[0].2].text, ";");
+        // `work` is called after the temporary dies.
+        let work_at = toks.iter().position(|t| t.text == "work").unwrap();
+        assert!(a[0].2 < work_at);
+    }
+
+    #[test]
+    fn scoped_guard_released_at_inner_brace() {
+        let src = "fn f(&self) { { let g = self.m.lock(); g.push(1); } self.work(); }";
+        let (g, files) = graph(src);
+        let a = acquires(&g, "f");
+        let toks = &files[0].lexed.toks;
+        let work_at = toks.iter().position(|t| t.text == "work").unwrap();
+        assert!(a[0].2 < work_at, "inner-block guard must not reach work()");
+    }
+
+    #[test]
+    fn closure_capture_in_let_holds_to_block_end() {
+        // Guards collected into a `let`-bound Vec stay alive with it.
+        let src = "fn f(&self) { let guards: Vec<_> = self.cells.iter().map(|c| c.lock()).collect(); self.work(); }";
+        let (g, files) = graph(src);
+        let a = acquires(&g, "f");
+        assert_eq!(a.len(), 1);
+        let toks = &files[0].lexed.toks;
+        let work_at = toks.iter().position(|t| t.text == "work").unwrap();
+        assert!(a[0].2 > work_at, "collected guards live past work()");
+    }
+
+    #[test]
+    fn may_block_chains_through_calls() {
+        let src = "fn leaf(rx: &Rx) { rx.recv(); }\nfn mid() { leaf(x); }\nfn top() { mid(); }";
+        let (g, _) = graph(src);
+        let mb = g.may_block();
+        assert_eq!(mb["leaf"].via.len(), 0);
+        assert_eq!(mb["mid"].via, ["leaf"]);
+        assert_eq!(mb["top"].via, ["mid", "leaf"]);
+        assert_eq!(
+            mb["top"].render("top"),
+            "top -> mid -> leaf -> channel/socket recv"
+        );
+    }
+
+    #[test]
+    fn method_calls_resolve_to_known_fns() {
+        let src =
+            "fn send(&self) { self.stream.write_all(b); }\nfn relay(&self) { self.peer.send(m); }";
+        let (g, _) = graph(src);
+        let mb = g.may_block();
+        assert!(mb.contains_key("relay"), "relay -> send -> write_all");
+    }
+
+    #[test]
+    fn skip_list_does_not_resolve() {
+        let src = "fn clone(&self) -> Self { self.rx.recv(); Self }\nfn user(&self) { self.thing.clone(); }";
+        let (g, _) = graph(src);
+        let mb = g.may_block();
+        assert!(!mb.contains_key("user"), ".clone() must not resolve");
+    }
+
+    #[test]
+    fn allocs_detected() {
+        let src = "fn f() { let v = Vec::new(); let s = x.to_vec(); let t = format!(\"x\"); }";
+        let (g, _) = graph(src);
+        let allocs: Vec<_> = g.bodies["f"]
+            .iter()
+            .flat_map(|b| b.steps.iter())
+            .filter(|s| matches!(s, Step::Alloc { .. }))
+            .collect();
+        assert_eq!(allocs.len(), 3);
+    }
+
+    #[test]
+    fn reachable_records_chains() {
+        let src = "fn root() { a(); }\nfn a() { b(); }\nfn b() {}\nfn unrelated() {}";
+        let (g, _) = graph(src);
+        let r = g.reachable(&["root".into()]);
+        assert_eq!(r["b"], ["root", "a", "b"]);
+        assert!(!r.contains_key("unrelated"));
+    }
+}

@@ -35,6 +35,17 @@ pub struct WireDriftConfig {
     pub protocol_fingerprint: String,
 }
 
+/// Configuration for the hot-path allocation family: a scope plus the
+/// root functions whose transitive callees form the hot set.
+#[derive(Debug, Clone, Default)]
+pub struct HotPathConfig {
+    pub paths: Vec<String>,
+    pub allow_files: Vec<String>,
+    /// Function (or named-closure) names that anchor the hot set. Names
+    /// that resolve to no function in `paths` are a config error.
+    pub hot_fns: Vec<String>,
+}
+
 /// Whole-run configuration (one section per rule family).
 #[derive(Debug, Clone, Default)]
 pub struct LintConfig {
@@ -42,6 +53,9 @@ pub struct LintConfig {
     pub panic_path: RuleScope,
     pub lock_order: RuleScope,
     pub wire_drift: WireDriftConfig,
+    pub blocking: RuleScope,
+    pub shared_state: RuleScope,
+    pub hot_path: HotPathConfig,
 }
 
 /// A parsed TOML-subset value.
@@ -184,7 +198,7 @@ impl LintConfig {
         let mut cfg = LintConfig::default();
         for (section, keys) in &doc {
             match section.as_str() {
-                "determinism" | "panic_path" | "lock_order" => {
+                "determinism" | "panic_path" | "lock_order" | "blocking" | "shared_state" => {
                     let scope = RuleScope {
                         paths: take_array(keys, section, "paths")?,
                         allow_files: take_array(keys, section, "allow_files")?,
@@ -192,8 +206,17 @@ impl LintConfig {
                     match section.as_str() {
                         "determinism" => cfg.determinism = scope,
                         "panic_path" => cfg.panic_path = scope,
-                        _ => cfg.lock_order = scope,
+                        "lock_order" => cfg.lock_order = scope,
+                        "blocking" => cfg.blocking = scope,
+                        _ => cfg.shared_state = scope,
                     }
+                }
+                "hot_path" => {
+                    cfg.hot_path = HotPathConfig {
+                        paths: take_array(keys, section, "paths")?,
+                        allow_files: take_array(keys, section, "allow_files")?,
+                        hot_fns: take_array(keys, section, "hot_fns")?,
+                    };
                 }
                 "wire_drift" => {
                     cfg.wire_drift = WireDriftConfig {
@@ -248,6 +271,26 @@ protocol_fingerprint = "0123456789abcdef"
         assert_eq!(cfg.wire_drift.structs, ["Scenario", "RunReport"]);
         assert_eq!(cfg.wire_drift.protocol_version, 1);
         assert_eq!(cfg.wire_drift.protocol_fingerprint, "0123456789abcdef");
+    }
+
+    #[test]
+    fn parses_new_family_sections() {
+        let src = r#"
+[blocking]
+paths = ["crates/comm/src"]
+
+[shared_state]
+paths = ["crates/steal/src"]
+allow_files = ["crates/steal/src/shim.rs"]
+
+[hot_path]
+paths = ["crates/sim/src/shard.rs"]
+hot_fns = ["handle", "run_worker"]
+"#;
+        let cfg = LintConfig::parse(src).unwrap();
+        assert_eq!(cfg.blocking.paths, ["crates/comm/src"]);
+        assert_eq!(cfg.shared_state.allow_files.len(), 1);
+        assert_eq!(cfg.hot_path.hot_fns, ["handle", "run_worker"]);
     }
 
     #[test]

@@ -49,10 +49,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Version of the JSON report format. Bumped on any structural change
+/// to `render_json` output so downstream tooling (the CI artifact
+/// check, the perf-log parser's sibling) can detect drift instead of
+/// misparsing. History: 1 = PR 6 original (no schema field), 2 = this
+/// field added.
+pub const SCHEMA: u32 = 2;
+
 /// Renders the full report as a stable JSON document.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let unsuppressed = diags.iter().filter(|d| !d.suppressed).count();
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA},\n"));
     out.push_str(&format!("  \"total\": {},\n", diags.len()));
     out.push_str(&format!("  \"unsuppressed\": {unsuppressed},\n"));
     out.push_str("  \"diagnostics\": [");
@@ -116,6 +124,7 @@ mod tests {
         let mut one = d("RL-D001", "a.rs", 1);
         one.suppressed = true;
         let json = render_json(&[one, d("RL-D002", "b.rs", 3)]);
+        assert!(json.starts_with("{\n  \"schema\": 2,"));
         assert!(json.contains("\"total\": 2"));
         assert!(json.contains("\"unsuppressed\": 1"));
         assert!(json.contains("msg with \\\"quotes\\\""));

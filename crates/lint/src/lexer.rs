@@ -191,6 +191,31 @@ pub fn lex(src: &str) -> Lexed {
                     i = end;
                     continue;
                 }
+                // Raw identifier: `r#ident` (exactly one hash, no byte
+                // prefix). Lexed as one Ident token — splitting it into
+                // `r` `#` `ident` would fabricate a keyword token (e.g.
+                // `r#fn` -> `fn`) that corrupts fn-span and test-mask
+                // recovery downstream.
+                if j == i
+                    && hashes == 1
+                    && bytes
+                        .get(k)
+                        .is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_')
+                {
+                    let mut end = k + 1;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                    continue;
+                }
             }
         }
         // Byte string b"..." handled with plain strings below.
@@ -362,6 +387,42 @@ mod tests {
     #[test]
     fn comments_are_skipped_and_nested_blocks_close() {
         assert_eq!(texts("a /* x /* y */ z */ b // tail\nc"), ["a", "b", "c"]);
+    }
+
+    // Nested block comments are depth-counted like rustc's lexer. These
+    // pin the tricky closings so a future rewrite cannot regress them:
+    // early termination here would silently un-mask tokens (test-mask and
+    // suppression recovery both run on the token stream).
+    #[test]
+    fn nested_block_comment_edge_cases() {
+        // Back-to-back closers.
+        assert_eq!(texts("a /* /* */*/ b"), ["a", "b"]);
+        // Opener immediately followed by a closer at depth 2.
+        assert_eq!(texts("a /*/**/ */ b"), ["a", "b"]);
+        // `/*/` opens then the next `/` is comment text, not a closer.
+        assert_eq!(texts("a /* /*/ */ */ b"), ["a", "b"]);
+        // A `//` inside a block comment does not hide the closer.
+        assert_eq!(texts("a /* // */ b"), ["a", "b"]);
+        // Unterminated comment swallows the rest of the input.
+        assert_eq!(texts("a /* /* */ b"), ["a"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_tokens() {
+        assert_eq!(
+            texts("let r#type = r#fn + 1;"),
+            ["let", "r#type", "=", "r#fn", "+", "1", ";"]
+        );
+        let lx = lex("r#type");
+        assert_eq!(lx.toks.len(), 1);
+        assert_eq!(lx.toks[0].kind, TokKind::Ident);
+        // The keyword must never leak out of a raw identifier: `r#fn`
+        // yielding an `fn` token would fabricate a phantom fn-span.
+        assert!(lex("let x = r#fn;").toks.iter().all(|t| t.text != "fn"));
+        // Raw strings with one hash still lex as strings, not raw idents.
+        let lx = lex("r#\"text\"#");
+        assert_eq!(lx.toks.len(), 1);
+        assert_eq!(lx.toks[0].kind, TokKind::Str);
     }
 
     #[test]

@@ -3,241 +3,118 @@
 //! Rocket holds several locks on its hot paths (cache slot tables, steal
 //! deques, the directory). A deadlock needs two threads acquiring the
 //! same pair of locks in opposite orders; this rule approximates that
-//! check statically:
+//! check statically on the shared call graph ([`crate::callgraph`]):
 //!
 //! 1. For every non-test function in scope, record the ordered sequence
-//!    of lock acquisitions. An acquisition is a *zero-argument*
-//!    `.lock()` / `.read()` / `.write()` call — the zero-argument
-//!    requirement keeps `io::Read::read(&mut buf)` and friends out. The
-//!    lock's name is the receiver identifier (field or method) nearest
-//!    the call.
-//! 2. Propagate acquisitions through direct calls between in-scope
+//!    of lock acquisitions with their hold ranges (block-scoped for
+//!    `let`-bound guards, statement-scoped for temporaries). An
+//!    acquisition is a *zero-argument* `.lock()` / `.read()` /
+//!    `.write()` call — the zero-argument requirement keeps
+//!    `io::Read::read(&mut buf)` and friends out. The lock's name is
+//!    the receiver identifier (field or method) nearest the call.
+//! 2. Propagate acquisitions through resolved calls between in-scope
 //!    functions to a fixpoint, so `a.lock(); helper();` sees the locks
 //!    `helper` takes.
 //! 3. Build the "held while acquiring" digraph over lock names and
 //!    report every cycle.
 //!
-//! This is name-based and flow-insensitive: two fields spelled the same
-//! in different structs alias, and an early `drop(guard)` is invisible.
-//! Rocket's lock population is small enough that this approximation is
-//! useful, and `lint:allow(lock-order)` documents the deliberate
-//! exceptions.
+//! This is name-based: two fields spelled the same in different structs
+//! alias, and an early `drop(guard)` is invisible. Rocket's lock
+//! population is small enough that this approximation is useful, and
+//! `lint:allow(lock-order)` documents the deliberate exceptions.
+//!
+//! The same edge set feeds the witness cross-check (`rocket-lint
+//! --witness`, RL-X001/RL-X002 in [`crate::rules::witness`]).
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{CallGraph, Step};
 use crate::diag::Diagnostic;
-use crate::lexer::TokKind;
 use crate::rules::emit;
 use crate::source::SourceFile;
 
 const RULE: &str = "lock-order";
 
-/// One lock acquisition (or call site) inside a function body.
-#[derive(Debug, Clone)]
-enum Step {
-    Acquire { lock: String, line: u32 },
-    Call { callee: String, line: u32 },
-}
-
-/// Walks back from the `.` of `.lock()` to the receiver identifier,
-/// skipping one balanced `(...)`/`[...]` group (so `self.slots[i].lock()`
-/// and `self.table().lock()` both resolve sensibly).
-fn receiver_name(file: &SourceFile, dot: usize) -> Option<String> {
-    let toks = &file.lexed.toks;
-    let mut i = dot.checked_sub(1)?;
-    loop {
-        let t = toks.get(i)?;
-        match (t.kind, t.text.as_str()) {
-            (TokKind::Punct, ")") | (TokKind::Punct, "]") => {
-                // Skip the balanced group backwards.
-                let (open, close) = if t.text == ")" {
-                    ("(", ")")
-                } else {
-                    ("[", "]")
-                };
-                let mut depth = 0isize;
-                loop {
-                    let u = toks.get(i)?;
-                    if u.kind == TokKind::Punct {
-                        if u.text == close {
-                            depth += 1;
-                        } else if u.text == open {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                    }
-                    i = i.checked_sub(1)?;
-                }
-                i = i.checked_sub(1)?;
-            }
-            (TokKind::Ident, "self") => return None, // bare `self.lock()`: keep looking? no — name it "self"
-            (TokKind::Ident, name) => return Some(name.to_string()),
-            _ => return None,
-        }
-    }
-}
-
-/// Extracts the acquisition/call sequence of one function body.
-fn body_steps(
-    file: &SourceFile,
-    start: usize,
-    end: usize,
-    fn_names: &BTreeSet<String>,
-) -> Vec<Step> {
-    let toks = &file.lexed.toks;
-    let mut steps = Vec::new();
-    let mut i = start;
-    while i <= end && i < toks.len() {
-        let t = &toks[i];
-        if t.kind == TokKind::Ident {
-            let is_acquire = match t.text.as_str() {
-                // `.lock(...)` with any arguments still blocks; only the
-                // read/write pair needs the zero-arg restriction to dodge
-                // io::Read/Write.
-                "lock" => {
-                    i > 0
-                        && toks[i - 1].text == "."
-                        && toks.get(i + 1).is_some_and(|n| n.text == "(")
-                }
-                "read" | "write" => {
-                    i > 0
-                        && toks[i - 1].text == "."
-                        && toks.get(i + 1).is_some_and(|n| n.text == "(")
-                        && toks.get(i + 2).is_some_and(|n| n.text == ")")
-                }
-                _ => false,
-            };
-            if is_acquire {
-                if let Some(lock) = receiver_name(file, i - 1) {
-                    steps.push(Step::Acquire { lock, line: t.line });
-                }
-                i += 1;
-                continue;
-            }
-            // A direct call to another in-scope function: `name(...)`
-            // not preceded by `.` (method calls on other objects are out
-            // of reach for this approximation).
-            if fn_names.contains(&t.text)
-                && toks.get(i + 1).is_some_and(|n| n.text == "(")
-                && (i == 0 || toks[i - 1].text != ".")
-                && (i == 0 || toks[i - 1].text != "fn")
-            {
-                steps.push(Step::Call {
-                    callee: t.text.clone(),
-                    line: t.line,
-                });
-            }
-        }
-        i += 1;
-    }
-    steps
-}
-
 /// A "held while acquiring" edge with one witness location.
 #[derive(Debug, Clone)]
-struct Edge {
-    file_idx: usize,
-    line: u32,
+pub(crate) struct StaticEdge {
+    pub from: String,
+    pub to: String,
+    pub file_idx: usize,
+    pub line: u32,
 }
 
-pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
-    // Function name → steps (merged across files; name collisions merge
-    // conservatively, which can only add edges).
-    let fn_names: BTreeSet<String> = files
-        .iter()
-        .flat_map(|f| f.fns().into_iter().map(|s| s.name))
-        .collect();
-    let mut bodies: BTreeMap<String, Vec<(usize, Vec<Step>)>> = BTreeMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        for span in file.fns() {
-            let steps = body_steps(file, span.body_start, span.body_end, &fn_names);
-            bodies.entry(span.name).or_default().push((fi, steps));
-        }
-    }
-
-    // Effective lock set per function: locks it (transitively) acquires.
-    let mut effective: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    loop {
-        let mut changed = false;
-        for (name, variants) in &bodies {
-            let mut locks: BTreeSet<String> = effective.get(name).cloned().unwrap_or_default();
-            let before = locks.len();
-            for (_, steps) in variants {
-                for step in steps {
-                    match step {
-                        Step::Acquire { lock, .. } => {
-                            locks.insert(lock.clone());
-                        }
-                        Step::Call { callee, .. } => {
-                            if let Some(sub) = effective.get(callee) {
-                                locks.extend(sub.iter().cloned());
-                            }
-                        }
-                    }
-                }
-            }
-            if locks.len() != before || !effective.contains_key(name) {
-                changed = true;
-            }
-            effective.insert(name.clone(), locks);
-        }
-        if !changed {
-            break;
-        }
-    }
-
-    // Edges: within each body, every acquisition is "held" across every
-    // later step; later direct acquisitions and callee lock sets become
-    // edge targets.
-    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
-    for variants in bodies.values() {
-        for (fi, steps) in variants {
-            for (i, held) in steps.iter().enumerate() {
+/// Derives the "held while acquiring" edges from the call graph: within
+/// each body, every acquisition is held across the steps inside its hold
+/// range; later direct acquisitions and callee lock sets become edge
+/// targets. One witness location per distinct edge, first in sorted
+/// body order.
+pub(crate) fn static_edges(graph: &CallGraph) -> Vec<StaticEdge> {
+    let effective = graph.effective_locks();
+    let mut edges: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    for variants in graph.bodies.values() {
+        for body in variants {
+            for (i, held) in body.steps.iter().enumerate() {
                 let Step::Acquire {
-                    lock: held_lock, ..
+                    lock: held_lock,
+                    until,
+                    at,
+                    ..
                 } = held
                 else {
                     continue;
                 };
-                for later in steps.iter().skip(i + 1) {
+                for later in body.steps.iter().skip(i + 1) {
+                    if later.at() <= *at || later.at() > *until {
+                        continue;
+                    }
                     match later {
-                        Step::Acquire { lock, line } => {
-                            if lock != held_lock {
-                                edges
-                                    .entry((held_lock.clone(), lock.clone()))
-                                    .or_insert(Edge {
-                                        file_idx: *fi,
-                                        line: *line,
-                                    });
-                            }
+                        Step::Acquire { lock, line, .. } if lock != held_lock => {
+                            edges
+                                .entry((held_lock.clone(), lock.clone()))
+                                .or_insert((body.file_idx, *line));
                         }
-                        Step::Call { callee, line } => {
+                        Step::Call { callee, line, .. } => {
                             for lock in effective.get(callee).into_iter().flatten() {
                                 if lock != held_lock {
-                                    edges.entry((held_lock.clone(), lock.clone())).or_insert(
-                                        Edge {
-                                            file_idx: *fi,
-                                            line: *line,
-                                        },
-                                    );
+                                    edges
+                                        .entry((held_lock.clone(), lock.clone()))
+                                        .or_insert((body.file_idx, *line));
                                 }
                             }
                         }
+                        _ => {}
                     }
                 }
             }
         }
     }
+    edges
+        .into_iter()
+        .map(|((from, to), (file_idx, line))| StaticEdge {
+            from,
+            to,
+            file_idx,
+            line,
+        })
+        .collect()
+}
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let graph = CallGraph::build(files);
+    let edges = static_edges(&graph);
 
     // Cycle detection: for each node in sorted order, DFS for a path
     // back to itself. Each cycle is reported once, keyed by its sorted
     // node set.
+    let edge_map: BTreeMap<(String, String), &StaticEdge> = edges
+        .iter()
+        .map(|e| ((e.from.clone(), e.to.clone()), e))
+        .collect();
     let adj: BTreeMap<&String, Vec<&String>> = {
         let mut m: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
-        for (a, b) in edges.keys().map(|(a, b)| (a, b)) {
-            m.entry(a).or_default().push(b);
+        for e in &edges {
+            m.entry(&e.from).or_default().push(&e.to);
         }
         m
     };
@@ -253,7 +130,7 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
             // Witness: the edge that closes the cycle back to `start`.
             let witness = path
                 .windows(2)
-                .filter_map(|w| edges.get(&(w[0].clone(), w[1].clone())))
+                .filter_map(|w| edge_map.get(&(w[0].clone(), w[1].clone())))
                 .next_back();
             let Some(witness) = witness else { continue };
             let Some(file) = files.get(witness.file_idx) else {
@@ -359,6 +236,20 @@ mod tests {
     fn reacquiring_same_lock_is_not_a_cycle() {
         let src =
             "fn a(&self) { let g = self.alpha.lock(); drop(g); let h = self.alpha.lock(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guards_do_not_edge() {
+        // The alpha guard dies at its inner block's brace before beta is
+        // taken, so the opposite order elsewhere is not a cycle.
+        let src = "fn a(&self) { { let g = self.alpha.lock(); } let h = self.beta.lock(); }\nfn b(&self) { let h = self.beta.lock(); let g = self.alpha.lock(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn statement_temporaries_do_not_edge() {
+        let src = "fn a(&self) { self.alpha.lock().push(1); let h = self.beta.lock(); }\nfn b(&self) { self.beta.lock().push(2); let g = self.alpha.lock(); }\n";
         assert!(run(src).is_empty());
     }
 }

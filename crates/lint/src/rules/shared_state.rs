@@ -1,0 +1,233 @@
+//! RL-S001..S004: shared-state hygiene.
+//!
+//! Cross-thread state in Rocket flows through instrumented locks and
+//! atomics with explicit orderings; everything else is a data race or a
+//! maintenance trap waiting for a refactor:
+//!
+//! - **RL-S001** — `static mut` items: unsynchronized global mutation,
+//!   UB under concurrent access.
+//! - **RL-S002** — statics of interior-mutable non-`Sync` shapes
+//!   (`Cell`, `RefCell`, `Rc`, `UnsafeCell`, raw pointers). The compiler
+//!   rejects most of these already; the rule catches them inside macro
+//!   bodies and keeps wrapper types honest.
+//! - **RL-S003** — `Ordering::Relaxed` loads that gate control flow
+//!   (`if`/`while`/`match`): Relaxed gives no happens-before, so the
+//!   branch can act on arbitrarily stale state. Monotonic
+//!   counters/flags where staleness is benign carry a
+//!   `lint:allow(RL-S003)` rationale.
+//! - **RL-S004** — `Arc::get_mut`: mutation that silently depends on
+//!   the refcount being 1; under concurrency the `None` arm hides the
+//!   lost update. Use a lock or `Arc::make_mut`'s copy semantics
+//!   deliberately.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::{emit, seq_at};
+use crate::source::SourceFile;
+
+const RULE: &str = "shared-state";
+
+/// Idents whose presence in a static's type makes it interior-mutable
+/// and non-`Sync`.
+const NON_SYNC: [&str; 4] = ["Cell", "Rc", "RefCell", "UnsafeCell"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.toks;
+    for i in 0..toks.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // `static mut NAME` — `'static` is a Lifetime token, so a
+            // bare `static` ident really is the item keyword.
+            "static" => {
+                if toks.get(i + 1).is_some_and(|n| n.text == "mut") {
+                    let name = toks
+                        .get(i + 2)
+                        .map(|n| n.text.as_str())
+                        .unwrap_or("<unnamed>");
+                    emit(
+                        out,
+                        file,
+                        "RL-S001",
+                        RULE,
+                        t.line,
+                        format!(
+                            "`static mut {name}`: unsynchronized global mutation — \
+                             use an atomic, a lock, or OnceLock"
+                        ),
+                    );
+                    continue;
+                }
+                // `static NAME: Type = ...` — scan the type tokens.
+                let Some(name_tok) = toks.get(i + 1) else {
+                    continue;
+                };
+                if name_tok.kind != TokKind::Ident || toks.get(i + 2).is_none_or(|n| n.text != ":")
+                {
+                    continue;
+                }
+                let mut j = i + 3;
+                let mut offender: Option<String> = None;
+                while j < toks.len() {
+                    let u = &toks[j];
+                    if u.kind == TokKind::Punct && (u.text == "=" || u.text == ";") {
+                        break;
+                    }
+                    if u.kind == TokKind::Ident && NON_SYNC.contains(&u.text.as_str()) {
+                        offender = Some(u.text.clone());
+                    }
+                    if u.kind == TokKind::Punct
+                        && u.text == "*"
+                        && toks
+                            .get(j + 1)
+                            .is_some_and(|n| n.text == "const" || n.text == "mut")
+                    {
+                        offender = Some("raw pointer".to_string());
+                    }
+                    j += 1;
+                }
+                if let Some(what) = offender {
+                    emit(
+                        out,
+                        file,
+                        "RL-S002",
+                        RULE,
+                        t.line,
+                        format!(
+                            "static `{}` holds non-Sync state ({what}) — sharing it \
+                             across threads is a data race",
+                            name_tok.text
+                        ),
+                    );
+                }
+            }
+            // `.load(Ordering::Relaxed)` feeding `if`/`while`/`match`.
+            "load" => {
+                if i == 0
+                    || toks[i - 1].text != "."
+                    || !seq_at(file, i + 1, &["(", "Ordering", ":", ":", "Relaxed", ")"])
+                {
+                    continue;
+                }
+                // Walk back to the start of the expression's statement;
+                // a branch keyword there means the load gates control
+                // flow. (`=` is not a boundary: `while x != y` contains
+                // one.)
+                let mut k = i;
+                let mut gated = false;
+                while let Some(prev) = k.checked_sub(1) {
+                    k = prev;
+                    let u = &toks[k];
+                    if u.kind == TokKind::Punct && matches!(u.text.as_str(), ";" | "{" | "}") {
+                        break;
+                    }
+                    if u.kind == TokKind::Ident
+                        && matches!(u.text.as_str(), "if" | "while" | "match")
+                    {
+                        gated = true;
+                        break;
+                    }
+                }
+                if gated {
+                    emit(
+                        out,
+                        file,
+                        "RL-S003",
+                        RULE,
+                        t.line,
+                        "Relaxed atomic load gates control flow — Relaxed gives no \
+                         happens-before, so the branch can act on stale state"
+                            .to_string(),
+                    );
+                }
+            }
+            // `Arc::get_mut(..)`.
+            "Arc" if seq_at(file, i + 1, &[":", ":", "get_mut"]) => {
+                emit(
+                    out,
+                    file,
+                    "RL-S004",
+                    RULE,
+                    t.line,
+                    "Arc::get_mut mutates only when the refcount is 1 — under \
+                     concurrency the None arm hides a lost update; use a lock or \
+                     make_mut"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("x.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn static_mut_is_s001() {
+        let diags = run("static mut COUNTER: u64 = 0;");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-S001");
+        assert!(diags[0].message.contains("COUNTER"));
+    }
+
+    #[test]
+    fn non_sync_static_is_s002() {
+        let diags = run("static CACHE: RefCell<Vec<u8>> = RefCell::new(Vec::new());");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-S002");
+        let diags = run("static PTR: *const u8 = core::ptr::null();");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-S002");
+    }
+
+    #[test]
+    fn sync_static_and_lifetimes_are_clean() {
+        assert!(run("static N: AtomicU64 = AtomicU64::new(0);").is_empty());
+        assert!(run("fn f() -> &'static str { \"x\" }").is_empty());
+        assert!(run("static NAME: &'static str = \"rocket\";").is_empty());
+    }
+
+    #[test]
+    fn relaxed_load_gating_branch_is_s003() {
+        let diags = run("fn f(&self) { if self.done.load(Ordering::Relaxed) { return; } }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-S003");
+        let diags = run("fn f(&self) { while self.n.load(Ordering::Relaxed) != 0 { spin(); } }");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn relaxed_load_into_value_is_clean() {
+        assert!(run("fn f(&self) { let n = self.n.load(Ordering::Relaxed); log(n); }").is_empty());
+        assert!(
+            run("fn f(&self) { let n = self.n.load(Ordering::Acquire); if n > 0 {} }").is_empty()
+        );
+    }
+
+    #[test]
+    fn arc_get_mut_is_s004() {
+        let diags = run("fn f(a: &mut Arc<V>) { if let Some(v) = Arc::get_mut(a) { v.push(1); } }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "RL-S004");
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "#[cfg(test)]\nmod tests { static mut X: u64 = 0; }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -113,10 +113,22 @@ fn test_mask(toks: &[Tok]) -> Vec<bool> {
 
 /// Extracts `fn name ... { body }` spans (all of them; callers filter by
 /// test mask). Trait-method declarations without bodies are skipped.
+/// Named closures with block bodies (`let worker = move |x| { ... };`)
+/// are picked up too, so graph passes can treat them as functions —
+/// the steal pool's worker loop lives in one.
 fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
+            if let Some(span) = closure_span(toks, i) {
+                out.push(span);
+                // Continue scanning *inside* the closure body (nested
+                // lets, nested closures).
+                i += 2;
+                continue;
+            }
+        }
         if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
             let Some(name_tok) = toks.get(i + 1) else {
                 break;
@@ -160,6 +172,71 @@ fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
     out
 }
 
+/// Matches `let [mut] NAME = [move] |params| [-> Ty] { body }` starting
+/// at the `let` token. Only block-bodied closures count: an expression
+/// body has no brace span to attribute steps to.
+fn closure_span(toks: &[Tok], let_idx: usize) -> Option<FnSpan> {
+    let mut j = let_idx + 1;
+    if toks.get(j).is_some_and(|t| t.text == "mut") {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let line = toks[let_idx].line;
+    j += 1;
+    if toks.get(j)?.text != "=" {
+        return None;
+    }
+    j += 1;
+    if toks.get(j).is_some_and(|t| t.text == "move") {
+        j += 1;
+    }
+    // `||` lexes as two `|` puncts; `|args|` starts with one.
+    if toks.get(j)?.text != "|" {
+        return None;
+    }
+    // Find the closing `|` of the parameter list (skip bracket groups so
+    // pattern params like `|(a, b)|` cannot confuse us).
+    let mut k = j + 1;
+    loop {
+        let t = toks.get(k)?;
+        match t.text.as_str() {
+            "|" => break,
+            "(" => k = matching(toks, k, "(", ")") + 1,
+            "[" => k = matching(toks, k, "[", "]") + 1,
+            // A `{`, `;` or `=` before the closing `|` means this was a
+            // bitwise-or expression, not a closure.
+            "{" | ";" | "=" => return None,
+            _ => k += 1,
+        }
+    }
+    // Optional `-> Ty`, then the opening brace must follow directly.
+    let mut m = k + 1;
+    if toks.get(m).is_some_and(|t| t.text == "-") && toks.get(m + 1).is_some_and(|t| t.text == ">")
+    {
+        m += 2;
+        while m < toks.len() && toks[m].text != "{" {
+            if matches!(toks[m].text.as_str(), ";" | "|" | ")" | "}") {
+                return None;
+            }
+            m += 1;
+        }
+    }
+    if toks.get(m)?.text != "{" {
+        return None;
+    }
+    let end = matching(toks, m, "{", "}");
+    Some(FnSpan {
+        name,
+        body_start: m,
+        body_end: end,
+        line,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +278,24 @@ mod tests {
         let f = SourceFile::new("a.rs".into(), src);
         let names: Vec<_> = f.fns().into_iter().map(|s| s.name).collect();
         assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn named_block_closures_become_spans() {
+        let src = "fn run() {\n    let worker = move |ix: usize| -> u32 {\n        work(ix)\n    };\n    let sum = a | b;\n    let alias = &worker;\n    let expr_body = |x| x + 1;\n}\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let names: Vec<_> = f.fns().into_iter().map(|s| s.name).collect();
+        // Only the block-bodied closure: bitwise-or, reference aliases and
+        // expression-bodied closures are not spans.
+        assert_eq!(names, ["run", "worker"]);
+    }
+
+    #[test]
+    fn closure_with_pattern_params() {
+        let src = "fn f() { let each = |(a, b): (u32, u32)| { a + b }; }\n";
+        let f = SourceFile::new("a.rs".into(), src);
+        let names: Vec<_> = f.fns().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["f", "each"]);
     }
 
     #[test]

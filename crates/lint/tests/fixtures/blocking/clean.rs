@@ -1,0 +1,46 @@
+//! Clean fixture for the blocking family: near-misses that must stay
+//! silent. Each function blocks or locks — never both at once.
+
+use parking_lot::Mutex;
+
+pub struct Hub {
+    state: Mutex<u64>,
+}
+
+impl Hub {
+    /// Blocking first, lock second: the recv completes before the
+    /// critical section opens.
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        let v = rx.recv().unwrap();
+        let mut st = self.state.lock();
+        *st += v;
+    }
+
+    /// A statement temporary releases at the semicolon, so the pace
+    /// afterwards runs unlocked.
+    pub fn bump_then_wait(&self) {
+        self.state.lock().checked_add(1);
+        clock::pace(50);
+    }
+
+    /// A brace scope bounds the guard; the file IO runs after the
+    /// closing brace.
+    pub fn persist(&self) {
+        let v = {
+            let st = self.state.lock();
+            *st
+        };
+        write_snapshot(v);
+    }
+}
+
+/// Blocking with no lock anywhere in scope is fine.
+pub fn flush_log(rx: &Receiver<u64>) {
+    while let Ok(v) = rx.recv_timeout(TICK) {
+        let _ = std::fs::write("log.bin", v.to_le_bytes());
+    }
+}
+
+fn write_snapshot(v: u64) {
+    let _ = std::fs::write("snapshot.bin", v.to_le_bytes());
+}

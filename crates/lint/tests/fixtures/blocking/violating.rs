@@ -1,0 +1,38 @@
+//! Violating fixture for the blocking family (RL-B001/RL-B002).
+//!
+//! This file is the acceptance proof that "adding a blocking call under
+//! a held lock" flips the lint to failure: every finding here is
+//! unsuppressed, so a `rocket-lint` run over this tree exits 1. Moving
+//! the blocking calls out of the critical sections (see clean.rs)
+//! restores exit 0.
+
+use parking_lot::Mutex;
+
+pub struct Hub {
+    state: Mutex<u64>,
+}
+
+impl Hub {
+    /// RL-B001: channel recv while `state` is held.
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        let mut st = self.state.lock();
+        let v = rx.recv().unwrap();
+        *st += v;
+    }
+
+    /// RL-B001: pacing sleep inside the critical section.
+    pub fn throttle(&self) {
+        let st = self.state.lock();
+        clock::pace(*st);
+    }
+
+    /// RL-B002: the blocking file IO hides one call away.
+    pub fn persist(&self) {
+        let st = self.state.lock();
+        write_snapshot(*st);
+    }
+}
+
+fn write_snapshot(v: u64) {
+    let _ = std::fs::write("snapshot.bin", v.to_le_bytes());
+}

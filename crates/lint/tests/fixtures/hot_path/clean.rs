@@ -1,0 +1,20 @@
+//! Clean fixture for the hot-path family: the hot root reuses caller
+//! buffers; allocation happens only in cold setup code the root never
+//! reaches.
+
+pub fn handle(ev: u64, scratch: &mut [u64], out: &mut Vec<u64>) {
+    scratch[0] = ev;
+    if let Some(slot) = out.last_mut() {
+        *slot = scratch[0];
+    }
+    record(ev);
+}
+
+fn record(_ev: u64) {}
+
+/// Cold: runs once at startup, never called from `handle`.
+pub fn preallocate(capacity: usize) -> Vec<u64> {
+    let mut buffers = Vec::with_capacity(capacity);
+    buffers.resize(capacity, 0);
+    buffers
+}

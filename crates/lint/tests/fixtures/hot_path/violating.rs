@@ -1,0 +1,19 @@
+//! Violating fixture for the hot-path family (RL-A001/RL-A002). The
+//! configured root is `handle`; `format_key` is hot only transitively.
+
+pub fn handle(ev: u64, out: &mut Vec<u64>) {
+    // RL-A001: fresh Vec per event.
+    let mut scratch = Vec::new();
+    scratch.push(ev);
+    // RL-A001: per-event clone of the scratch buffer.
+    let copy = scratch.clone();
+    out.extend_from_slice(&copy);
+    record(format_key(ev));
+}
+
+/// RL-A002: allocation one call below the root (handle -> format_key).
+fn format_key(ev: u64) -> String {
+    format!("ev-{ev}")
+}
+
+fn record(_key: String) {}

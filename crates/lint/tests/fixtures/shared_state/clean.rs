@@ -1,0 +1,32 @@
+//! Clean fixture for the shared-state family: the sound spellings of
+//! every pattern the violating file abuses.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomics and Sync payloads in statics are fine.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static READY: AtomicBool = AtomicBool::new(false);
+
+/// A `'static` lifetime token is not a static item.
+static BANNER: &'static str = "rocket";
+
+/// Acquire loads may gate control flow.
+pub fn serve(jobs: &[u64]) -> u64 {
+    if READY.load(Ordering::Acquire) {
+        jobs.iter().sum()
+    } else {
+        0
+    }
+}
+
+/// A Relaxed load that only feeds a metric (no branch) is fine.
+pub fn sample() -> u64 {
+    let seen = HITS.load(Ordering::Relaxed);
+    seen.saturating_mul(2)
+}
+
+/// Arc::make_mut clones on sharing instead of failing.
+pub fn tweak(shared: &mut Arc<Vec<u64>>) {
+    Arc::make_mut(shared).reverse();
+}

@@ -1,0 +1,29 @@
+//! Violating fixture for the shared-state family (RL-S001..S004).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// RL-S001: mutable static — data race by construction.
+static mut HITS: u64 = 0;
+
+/// RL-S002: a non-Sync payload in a shared static.
+static SCRATCH: RefCell<u64> = RefCell::new(0);
+
+static READY: AtomicBool = AtomicBool::new(false);
+
+/// RL-S003: a Relaxed load deciding a branch.
+pub fn serve(jobs: &[u64]) -> u64 {
+    if READY.load(Ordering::Relaxed) {
+        jobs.iter().sum()
+    } else {
+        0
+    }
+}
+
+/// RL-S004: Arc::get_mut silently yields None under sharing.
+pub fn tweak(shared: &mut Arc<Vec<u64>>) {
+    if let Some(v) = Arc::get_mut(shared) {
+        v.reverse();
+    }
+}

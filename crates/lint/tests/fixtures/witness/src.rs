@@ -1,0 +1,26 @@
+//! Witness-fixture source: one static lock-order edge, `intake` ->
+//! `ledger`, derived from `settle` holding `intake` while taking
+//! `ledger`. The sibling JSON files model different runtime witnesses of
+//! this same code (see fixtures_test.rs for what each one proves).
+
+use parking_lot::Mutex;
+
+pub struct Bank {
+    intake: Mutex<Vec<u64>>,
+    ledger: Mutex<u64>,
+}
+
+impl Bank {
+    /// Nests `ledger` under `intake`: the static edge.
+    pub fn settle(&self) {
+        let mut pending = self.intake.lock();
+        let mut total = self.ledger.lock();
+        *total += pending.drain(..).sum::<u64>();
+    }
+
+    /// Touches each lock alone — no edge.
+    pub fn audit(&self) -> u64 {
+        let pending = self.intake.lock().len() as u64;
+        pending + *self.ledger.lock()
+    }
+}

@@ -42,8 +42,8 @@
 //! fuzzes the claim over shard counts, thread counts, and both queue
 //! implementations.
 
+use rocket_sanitize::Mutex;
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 use rocket_cache::{CacheStats, Directory, DirectoryMsg, DirectoryStats, Lookup, Resolution};
 use rocket_stats::SeedSequence;
@@ -434,19 +434,22 @@ where
     }
     .min(k)
     .max(1);
-    let cells: Vec<Mutex<ShardState<Q>>> = shards.into_iter().map(Mutex::new).collect();
+    let cells: Vec<Mutex<ShardState<Q>>> = shards
+        .into_iter()
+        .map(|s| Mutex::named("cells", s))
+        .collect();
     // First window: fast-forward to the earliest event (t = 0 here, since
     // every node schedules a Pull at zero).
     {
         let mut min_t: Option<SimTime> = None;
         for c in &cells {
-            if let Some(t) = c.lock().expect("shard lock").queue.peek_time() {
+            if let Some(t) = c.lock().queue.peek_time() {
                 min_t = Some(min_t.map_or(t, |m| m.min(t)));
             }
         }
         let w_end = (min_t.unwrap_or(0) / ctx.window_ns + 1) * ctx.window_ns;
         for c in &cells {
-            c.lock().expect("shard lock").window_end = w_end;
+            c.lock().window_end = w_end;
         }
     }
     let mut last = (0u64, 0u64); // (pairs_done, virtual ns)
@@ -454,13 +457,17 @@ where
         k,
         threads,
         |i| {
-            cells[i].lock().expect("shard lock").run_window(ctx);
+            // lint:allow(blocking) — the cell lock is per-shard and taken
+            // only by the worker that owns the shard this window, so the
+            // modeled IO inside run_window blocks nobody else.
+            // lint:allow(lock-order) — the static edges out of `cells`
+            // here are name-merge artifacts (`handle` resolves to every
+            // in-scope fn of that name); the runtime witness records no
+            // nesting under a cell lock, and RL-X001 confirms the gap.
+            cells[i].lock().run_window(ctx);
         },
         || {
-            let mut guards: Vec<_> = cells
-                .iter()
-                .map(|c| c.lock().expect("shard lock"))
-                .collect();
+            let mut guards: Vec<_> = cells.iter().map(|c| c.lock()).collect();
             let mut sh: Vec<&mut ShardState<Q>> = guards.iter_mut().map(|g| &mut **g).collect();
             let boundary = sh[0].window_end;
             barrier_step(ctx, &mut sh, drv, boundary);
@@ -484,10 +491,7 @@ where
             true
         },
     );
-    cells
-        .into_iter()
-        .map(|c| c.into_inner().expect("shard lock"))
-        .collect()
+    cells.into_iter().map(Mutex::into_inner).collect()
 }
 
 /// The window barrier, identical for the sequential replay and the

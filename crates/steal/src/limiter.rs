@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use rocket_sanitize::{Condvar, Mutex};
 
 /// Counting semaphore bounding concurrently in-flight jobs.
 #[derive(Debug)]
@@ -26,7 +26,7 @@ impl JobLimiter {
         assert!(limit >= 1, "concurrent job limit must be positive");
         Self {
             limit,
-            available: Mutex::new(limit),
+            available: Mutex::named("available", limit),
             cond: Condvar::new(),
             peak_waits: AtomicU64::new(0),
         }
@@ -47,6 +47,8 @@ impl JobLimiter {
         let mut avail = self.available.lock();
         if *avail == 0 {
             self.peak_waits.fetch_add(1, Ordering::Relaxed);
+            // lint:allow(blocking) — the semaphore exists to block here;
+            // the wait atomically releases `available` while parked.
             self.cond.wait_while(&mut avail, |a| *a == 0);
         }
         *avail -= 1;
@@ -61,6 +63,8 @@ impl JobLimiter {
             // acquire; back-pressure timing never feeds computed results.
             let deadline = std::time::Instant::now() + timeout;
             while *avail == 0 {
+                // lint:allow(blocking) — bounded condvar wait; releases
+                // `available` atomically while parked.
                 if self.cond.wait_until(&mut avail, deadline).timed_out() {
                     return false;
                 }

@@ -6,7 +6,7 @@ use std::io;
 use std::path::PathBuf;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use rocket_sanitize::RwLock;
 
 /// Errors produced by storage backends.
 #[derive(Debug)]
@@ -76,15 +76,23 @@ pub trait ObjectStore: Send + Sync {
 
 /// In-memory object store. Cheap clones of stored [`Bytes`] make reads
 /// zero-copy.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStore {
     objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            objects: RwLock::named("objects", BTreeMap::new()),
+        }
     }
 
     /// Inserts (or replaces) an object.
